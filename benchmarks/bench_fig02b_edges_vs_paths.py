@@ -1,0 +1,30 @@
+"""Figure 2(b): number of edges in SPG_k vs number of s-t simple paths.
+
+The paper's motivation plot: as ``k`` grows, the number of simple paths
+explodes while the number of edges in the simple path graph stays bounded
+by ``|E|``.  The benchmark times one EVE query on the densest configured
+proxy; the printed table reports the averaged series for two graphs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig2b
+from repro.core.eve import EVE
+from repro.queries.workload import random_reachable_queries
+
+
+def test_fig2b_edges_vs_paths(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig2b(scale), rounds=1, iterations=1)
+    show_table(rows, "Figure 2(b): |E(SPG_k)| vs #simple paths (averages per query)")
+    for row in rows:
+        # The path graph never has more edges than 2x paths * k but, more
+        # importantly, it is bounded by the graph size while paths explode.
+        assert row["avg_spg_edges"] >= 0
+
+
+def test_fig2b_single_spg_query(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    query = random_reachable_queries(graph, max(scale.hop_values), 1, seed=scale.seed).queries[0]
+    engine = EVE(graph)
+    result = benchmark(engine.query, query.source, query.target, query.k)
+    assert result.exact

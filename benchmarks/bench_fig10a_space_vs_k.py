@@ -1,0 +1,28 @@
+"""Figure 10(a): maximum space cost as a function of k (paper: graphs wn, bs).
+
+Enumeration baselines' space grows steeply with ``k`` (exponentially more
+partial paths), whereas EVE's retained state grows roughly as ``O(k^2 |V|)``
+with a visible bump between k = 4 and k = 5 when the verification machinery
+(departures, arrivals, stacks) starts being maintained.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig10a
+from repro.core.eve import EVE
+from repro.queries.workload import random_reachable_queries
+
+
+def test_fig10a_space_vs_k_table(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig10a(scale), rounds=1, iterations=1)
+    show_table(rows, "Figure 10(a): maximum peak retained items vs k")
+    assert rows
+
+
+def test_fig10a_eve_growth_with_k(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    engine = EVE(graph)
+    k = max(scale.hop_values)
+    query = random_reachable_queries(graph, k, 1, seed=scale.seed).queries[0]
+    result = benchmark(engine.query, query.source, query.target, k)
+    assert result.space.peak >= 0

@@ -1,0 +1,34 @@
+"""Figure 10(b): average query time for varying distances between s and t.
+
+Queries whose endpoints are close together (relative to ``k``) have many
+more hop-constrained simple paths, so enumeration baselines slow down
+sharply for small ``dist(s, t)`` while EVE stays flat — it never touches
+individual paths.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig10b
+from repro.core.eve import EVE
+from repro.queries.workload import distance_stratified_queries
+
+
+def test_fig10b_distance_table(benchmark, scale, show_table):
+    k = max(scale.hop_values)
+    rows = benchmark.pedantic(lambda: experiment_fig10b(scale, k=k), rounds=1, iterations=1)
+    show_table(rows, f"Figure 10(b): average time (ms) per dist(s, t), k = {k}")
+    assert rows
+
+
+def test_fig10b_eve_close_pair(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    k = max(scale.hop_values)
+    buckets = distance_stratified_queries(graph, k, per_distance=1, seed=scale.seed, distances=[1])
+    queries = buckets[1].queries
+    if not queries:
+        import pytest
+
+        pytest.skip("graph proxy has no distance-1 reachable pair")
+    engine = EVE(graph)
+    query = queries[0]
+    benchmark(engine.query, query.source, query.target, k)

@@ -1,0 +1,35 @@
+"""Figure 10(c): detailed per-phase time of EVE (k >= 5).
+
+On dense graphs the verification phase grows with ``k``; on sparse graphs
+the first two phases (propagation + upper bound) dominate and verification
+is marginal.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig10c
+from repro.core.eve import EVE
+from repro.queries.workload import random_reachable_queries
+
+
+def test_fig10c_phase_table(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig10c(scale), rounds=1, iterations=1)
+    show_table(rows, "Figure 10(c): EVE per-phase total time (ms)")
+    assert {row["phase"] for row in rows} == {"propagation", "upper_bound", "verification"}
+
+
+def test_fig10c_propagation_phase(benchmark, scale):
+    from repro.core.distances import compute_distance_index
+    from repro.core.essential import propagate_backward, propagate_forward
+
+    graph = scale.load_graph(scale.datasets[0])
+    k = max(max(scale.hop_values), 5)
+    query = random_reachable_queries(graph, k, 1, seed=scale.seed).queries[0]
+
+    def propagate():
+        distances = compute_distance_index(graph, query.source, query.target, k)
+        forward = propagate_forward(graph, query.source, query.target, k, distances=distances)
+        backward = propagate_backward(graph, query.source, query.target, k, distances=distances)
+        return forward, backward
+
+    benchmark(propagate)

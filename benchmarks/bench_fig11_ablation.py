@@ -1,0 +1,36 @@
+"""Figure 11: effectiveness of EVE's pruning strategies (k = 7 in the paper).
+
+Compares Naive EVE (no pruning, single-directional distance search) with
+the variants that add forward-looking pruning, bi-directional and adaptive
+bi-directional search, and finally the full configuration with search
+ordering.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig11
+from repro.core.eve import EVE, EVEConfig
+from repro.queries.workload import random_reachable_queries
+
+ABLATION_K = 7
+
+
+def test_fig11_ablation_table(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig11(scale, k=ABLATION_K), rounds=1, iterations=1)
+    show_table(rows, f"Figure 11: EVE variants, total time (ms), k = {ABLATION_K}")
+    variants = {row["variant"] for row in rows}
+    assert "Naive EVE" in variants and "EVE (full)" in variants
+
+
+def test_fig11_naive_eve(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    query = random_reachable_queries(graph, ABLATION_K, 1, seed=scale.seed).queries[0]
+    engine = EVE(graph, EVEConfig.naive())
+    benchmark(engine.query, query.source, query.target, ABLATION_K)
+
+
+def test_fig11_full_eve(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    query = random_reachable_queries(graph, ABLATION_K, 1, seed=scale.seed).queries[0]
+    engine = EVE(graph, EVEConfig())
+    benchmark(engine.query, query.source, query.target, ABLATION_K)

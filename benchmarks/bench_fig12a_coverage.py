@@ -1,0 +1,36 @@
+"""Figure 12(a): average coverage ratio r_C = |E(SPG_k)| / |E| versus k.
+
+Graphs with larger average degree show higher coverage ratios (denser
+connection between the query endpoints), and coverage grows with ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig12a
+from repro.core.eve import EVE
+from repro.queries.workload import random_reachable_queries
+
+
+def test_fig12a_coverage_table(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig12a(scale), rounds=1, iterations=1)
+    show_table(rows, "Figure 12(a): average coverage ratio per graph and k")
+    for row in rows:
+        assert 0.0 <= row["avg_coverage_ratio"] <= 1.0
+    # Coverage is monotone in k for a fixed graph (more hops, more paths).
+    for code in scale.datasets:
+        series = [row["avg_coverage_ratio"] for row in rows if row["graph"] == code]
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_fig12a_single_query_coverage(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    k = max(scale.hop_values)
+    query = random_reachable_queries(graph, k, 1, seed=scale.seed).queries[0]
+    engine = EVE(graph)
+
+    def run():
+        result = engine.query(query.source, query.target, k)
+        return result.coverage_ratio(graph)
+
+    ratio = benchmark(run)
+    assert 0.0 <= ratio <= 1.0

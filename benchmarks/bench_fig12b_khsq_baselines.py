@@ -1,0 +1,29 @@
+"""Figure 12(b): EVE vs JOIN/PathEnum enhanced by the KHSQ+ search space.
+
+Even when the baselines are given ``G^k_st`` (computed by KHSQ+) as their
+search space, EVE remains faster for generating the simple path graph,
+because ``G^k_st`` still contains cycles and edges that only lie on
+non-simple paths.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig12b
+from repro.bench.harness import AlgorithmRegistry
+from repro.queries.workload import random_reachable_queries
+
+
+def test_fig12b_table(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig12b(scale), rounds=1, iterations=1)
+    show_table(rows, "Figure 12(b): EVE vs KHSQ+-assisted baselines, total time (ms)")
+    algorithms = {row["algorithm"] for row in rows}
+    assert algorithms == {"EVE", "KHSQ+JOIN", "KHSQ+PathEnum"}
+
+
+def test_fig12b_khsq_assisted_pathenum(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    registry = AlgorithmRegistry(graph, scale.per_query_budget)
+    k = max(scale.hop_values)
+    query = random_reachable_queries(graph, k, 1, seed=scale.seed).queries[0]
+    assisted = registry.build("KHSQ+PathEnum")
+    benchmark(assisted, query.source, query.target, k)

@@ -1,0 +1,31 @@
+"""Figure 13 / Section 6.9: fraud-detection case study.
+
+A temporal transaction network with planted fraud rings is generated; for
+the flagged ring-closing payment ``e(t, s)`` the benchmark extracts
+``SPG_k(s, t)`` over the last-``dT``-days snapshot and checks that the
+planted ring is recovered.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig13
+from repro.core.eve import EVE
+from repro.datasets.transaction import generate_transaction_network
+
+
+def test_fig13_case_study(benchmark, scale, show_table):
+    rows = benchmark.pedantic(lambda: experiment_fig13(scale), rounds=1, iterations=1)
+    show_table(rows, "Figure 13: transaction-network case study")
+    row = rows[0]
+    assert row["ring_recovered"] >= row["planted_ring_size"] - 1
+    assert row["suspicious_accounts"] >= row["ring_recovered"]
+
+
+def test_fig13_query_latency(benchmark, scale):
+    network = generate_transaction_network(
+        num_accounts=400, num_transactions=3000, seed=scale.seed
+    )
+    payer, payee, _ = network.flagged_edge
+    snapshot = network.window_around_flag(7.0)
+    engine = EVE(snapshot)
+    benchmark(engine.query, payee, payer, 5)

@@ -1,0 +1,33 @@
+"""Table 5: speedups for generating SPG_k on G^k_st (k = 6 in the paper).
+
+JOIN and PathEnum generate the simple path graph either on the full graph
+or on the k-hop s-t subgraph ``G^k_st`` computed first with KHSQ+; the
+table reports the resulting speedup and the average edge-count reduction of
+the restricted search space.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_table5
+from repro.enumeration.join import JoinEnumerator
+from repro.enumeration.spg_via_enumeration import EnumerationSPGBuilder
+from repro.khsq.khsq import KHSQPlus
+from repro.queries.workload import random_reachable_queries
+
+
+def test_table5_speedups(benchmark, scale, show_table):
+    k = max(scale.hop_values)
+    rows = benchmark.pedantic(lambda: experiment_table5(scale, k=k), rounds=1, iterations=1)
+    show_table(rows, f"Table 5: SPG generation speedups on G^k_st (k = {k})")
+    assert {row["algorithm"] for row in rows} == {"JOIN", "PathEnum"}
+    for row in rows:
+        assert row["avg_edge_reduction"] >= 1.0 or row["avg_edge_reduction"] == 0.0
+
+
+def test_table5_join_on_gkst(benchmark, scale):
+    graph = scale.load_graph(scale.datasets[0])
+    k = max(scale.hop_values)
+    query = random_reachable_queries(graph, k, 1, seed=scale.seed).queries[0]
+    subgraph = KHSQPlus(graph).query(query.source, query.target, k).to_graph(graph)
+    builder = EnumerationSPGBuilder(subgraph, JoinEnumerator, scale.per_query_budget)
+    benchmark(builder.query, query.source, query.target, k)

@@ -1,0 +1,63 @@
+"""Shared fixtures and scale control for the benchmark suite.
+
+Each benchmark file regenerates one table or figure of the paper by calling
+the corresponding driver in :mod:`repro.bench.experiments` and printing the
+resulting rows, while pytest-benchmark times the core measured operation.
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable
+(``tiny`` | ``small`` | ``paper``); the default is ``tiny`` so a full
+``pytest benchmarks/ --benchmark-only`` run completes in a few minutes on a
+laptop.  Use ``small`` or ``paper`` for closer-to-the-paper numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentScale
+from repro.bench.report import render_table
+
+
+def _resolve_scale() -> ExperimentScale:
+    preset = os.environ.get("REPRO_BENCH_SCALE", "tiny").lower()
+    presets = {
+        "tiny": ExperimentScale.tiny,
+        "small": ExperimentScale.small,
+        "paper": ExperimentScale.paper,
+    }
+    if preset not in presets:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(presets)}, got {preset!r}"
+        )
+    return presets[preset]()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale shared by every benchmark in the session."""
+    return _resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def show_table():
+    """Print an experiment's rows and append them to ``benchmarks/latest_results.txt``.
+
+    pytest captures stdout for passing tests, so the regenerated tables are
+    also persisted to a results file that survives the run (the final state
+    of that file is what EXPERIMENTS.md quotes).
+    """
+    results_path = os.path.join(os.path.dirname(__file__), "latest_results.txt")
+
+    def _show(rows, title: str) -> None:
+        table = render_table(rows, title=title)
+        print()
+        print(table)
+        with open(results_path, "a", encoding="utf-8") as handle:
+            handle.write(table + "\n\n")
+
+    # Start each benchmark session with a fresh results file.
+    with open(results_path, "w", encoding="utf-8") as handle:
+        handle.write(f"Benchmark tables (scale preset: {os.environ.get('REPRO_BENCH_SCALE', 'tiny')})\n\n")
+    return _show

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Accelerating hop-constrained path enumeration with SPG_k (paper Table 4).
+
+PathEnum is the state-of-the-art hop-constrained s-t simple path enumerator.
+The paper shows that first generating ``SPG_k(s, t)`` with EVE and handing
+it to PathEnum as the search space speeds enumeration up — every edge that
+cannot appear in any output path has already been removed.
+
+This example measures that effect on a dense synthetic proxy graph:
+PathEnum on the full graph versus EVE + PathEnum on ``SPG_k``, and versus
+the KHSQ+ alternative search space ``G^k_st``.
+
+Run with::
+
+    python examples/accelerate_enumeration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import EVE
+from repro.datasets import load_dataset
+from repro.enumeration import PathEnum
+from repro.khsq import KHSQPlus
+from repro.queries import random_reachable_queries
+
+DATASET = "ye"        # dense biological-network proxy
+SCALE = 0.25
+K = 5
+NUM_QUERIES = 5
+
+
+def main() -> None:
+    graph = load_dataset(DATASET, scale=SCALE)
+    print(f"Graph {graph.name}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges (avg degree {graph.average_degree():.1f})")
+    workload = random_reachable_queries(graph, K, NUM_QUERIES, seed=11)
+    eve = EVE(graph)
+    khsq = KHSQPlus(graph)
+
+    plain_total = assisted_total = khsq_total = 0.0
+    plain_work = assisted_work = khsq_work = 0
+    total_paths = 0
+    for query in workload:
+        s, t = query.source, query.target
+
+        enumerator = PathEnum(graph)
+        started = time.perf_counter()
+        plain = enumerator.enumerate(s, t, K)
+        plain_total += time.perf_counter() - started
+        plain_work += enumerator.expansions
+        total_paths += plain.count
+
+        started = time.perf_counter()
+        spg = eve.query(s, t, K)
+        enumerator = PathEnum(spg.to_graph(graph))
+        enumerator.enumerate(s, t, K)
+        assisted_total += time.perf_counter() - started
+        assisted_work += enumerator.expansions
+
+        started = time.perf_counter()
+        subgraph = khsq.query(s, t, K).to_graph(graph)
+        enumerator = PathEnum(subgraph)
+        enumerator.enumerate(s, t, K)
+        khsq_total += time.perf_counter() - started
+        khsq_work += enumerator.expansions
+
+    print(f"\n{NUM_QUERIES} queries, k = {K}, "
+          f"{total_paths} simple paths enumerated per run")
+    print("                                  wall clock            search work (edge expansions)")
+    print(f"  PathEnum on the full graph   : {plain_total * 1000:8.1f} ms          {plain_work:10d}")
+    print(f"  KHSQ+  -> PathEnum on G^k_st : {khsq_total * 1000:8.1f} ms "
+          f"({plain_total / khsq_total:4.1f}x)  {khsq_work:10d} ({plain_work / max(1, khsq_work):4.1f}x less)")
+    print(f"  EVE    -> PathEnum on SPG_k  : {assisted_total * 1000:8.1f} ms "
+          f"({plain_total / assisted_total:4.1f}x)  {assisted_work:10d} ({plain_work / max(1, assisted_work):4.1f}x less)")
+    print("\nSPG_k is a subgraph of G^k_st, so the EVE-assisted run explores the")
+    print("fewest edges (Table 4 / Section 6.7).  At this laptop scale the wall-")
+    print("clock speedup is diluted by the cost of generating the search space in")
+    print("pure Python; the work column shows the effect the paper measures.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Batch fraud screening: test every recent transaction for short cycles.
+
+While ``fraud_detection.py`` investigates a single flagged transaction,
+this example runs the screening pipeline a payment provider would run: for
+every transaction of the last day, check whether it closes a simple cycle
+of bounded length inside the preceding 7-day window (one EVE query per
+screened transaction), and compare the flagged accounts against the
+planted fraud rings.
+
+Run with::
+
+    python examples/batch_fraud_screening.py
+"""
+
+from __future__ import annotations
+
+from repro.cycles import FraudScreener
+from repro.datasets import generate_transaction_network
+
+MAX_CYCLE_LENGTH = 6
+WINDOW_DAYS = 7.0
+SCREEN_SINCE_DAY = 29.0        # screen transactions of the last day
+
+
+def main() -> None:
+    network = generate_transaction_network(
+        num_accounts=300,
+        num_transactions=2500,
+        num_fraud_rings=3,
+        ring_size=4,
+        horizon_days=30.0,
+        fraud_window_days=2.0,
+        seed=77,
+    )
+    print(f"Transaction network: {network.num_accounts} accounts, "
+          f"{len(network.transactions)} transactions over 30 days")
+    print(f"Planted fraud rings: {network.fraud_rings}")
+
+    screener = FraudScreener(
+        network, max_cycle_length=MAX_CYCLE_LENGTH, window_days=WINDOW_DAYS
+    )
+    report = screener.screen_recent(since=SCREEN_SINCE_DAY)
+
+    print(f"\nScreened {report.screened} transactions from day "
+          f"{SCREEN_SINCE_DAY:g} onwards "
+          f"(cycles up to {MAX_CYCLE_LENGTH} hops, {WINDOW_DAYS:g}-day window)")
+    print(f"Transactions closing a short cycle: {report.num_suspicious}")
+    for finding in report.suspicious:
+        print(f"  day {finding.timestamp:5.2f}  "
+              f"{finding.edge[0]:>4} -> {finding.edge[1]:<4}  "
+              f"cycle-graph edges: {finding.cycle_edges:3d}  "
+              f"accounts: {list(finding.involved_accounts)}")
+
+    precision, recall = report.precision_recall(network.fraud_accounts())
+    print(f"\nFlagged accounts: {sorted(report.suspicious_accounts())}")
+    print(f"Precision vs planted rings: {precision:.0%}")
+    print(f"Recall    vs planted rings: {recall:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fraud detection on a temporal transaction network (paper Section 6.9).
+
+A transaction network is modelled as a directed graph where each edge is a
+payment.  Short simple cycles completed within a narrow time window are a
+strong fraud signal (money moving in a ring).  Given one flagged
+transaction ``e(t, s)``, every account and payment taking part in a
+``(k+1)``-hop-constrained simple cycle through it is exactly the content of
+``SPG_k(s, t)`` computed on the snapshot of recent transactions.
+
+This example generates a synthetic transaction network with planted fraud
+rings, flags the closing payment of one ring, and recovers the whole ring
+with a single EVE query — then compares against the planted ground truth.
+
+Run with::
+
+    python examples/fraud_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import build_spg
+from repro.datasets import generate_transaction_network
+from repro.viz import render_result_summary
+
+HOP_CONSTRAINT = 5          # cycles of length at most k + 1 = 6 transactions
+WINDOW_DAYS = 7.0           # only transactions of the last week are considered
+
+
+def main() -> None:
+    network = generate_transaction_network(
+        num_accounts=500,
+        num_transactions=4000,
+        num_fraud_rings=3,
+        ring_size=4,
+        seed=2023,
+    )
+    payer, payee, flagged_time = network.flagged_edge
+    print(f"Flagged transaction: account {payer} -> account {payee} "
+          f"at day {flagged_time:.2f}")
+
+    # Restrict the graph to the transactions of the last WINDOW_DAYS days.
+    snapshot = network.window_around_flag(WINDOW_DAYS)
+    print(f"Snapshot of the last {WINDOW_DAYS:g} days: "
+          f"{snapshot.num_edges} distinct payment edges")
+
+    # The flagged edge goes t -> s; simple cycles through it correspond to
+    # simple paths from s (= payee) back to t (= payer).
+    result = build_spg(snapshot, payee, payer, k=HOP_CONSTRAINT)
+    print()
+    print(render_result_summary(result))
+
+    suspicious_accounts = set(result.vertices)
+    planted_ring = set(network.fraud_rings[0])
+    recovered = suspicious_accounts & planted_ring
+    print()
+    print(f"Planted fraud ring ({len(planted_ring)} accounts): {sorted(planted_ring)}")
+    print(f"Accounts recovered by the query: {sorted(recovered)}")
+    print(f"Recall on the planted ring: {len(recovered) / len(planted_ring):.0%}")
+    print()
+    print("Suspicious payments (edges of the simple path graph):")
+    for u, v in sorted(result.edges):
+        print(f"  account {u} -> account {v}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+``python setup.py develop`` / legacy editable installs keep working on
+offline machines where PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The whole library identifies vertices by dense non-negative integers
+(``0 .. n-1``).  Edges are ordered pairs of vertex ids.  Keeping these
+aliases in one place makes signatures self-documenting without pulling in
+heavyweight typing machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+Vertex = int
+Edge = Tuple[Vertex, Vertex]
+EdgeList = Sequence[Edge]
+EdgeIterable = Iterable[Edge]
+
+__all__ = ["Vertex", "Edge", "EdgeList", "EdgeIterable"]

@@ -1,0 +1,27 @@
+"""Metrics and validation helpers used by tests and the experiment harness."""
+
+from repro.analysis.metrics import (
+    aggregate_space,
+    average,
+    coverage_ratio,
+    redundant_ratio,
+    speedup,
+)
+from repro.analysis.validate import (
+    brute_force_spg,
+    check_path,
+    is_simple_path,
+    spg_equal,
+)
+
+__all__ = [
+    "average",
+    "coverage_ratio",
+    "redundant_ratio",
+    "speedup",
+    "aggregate_space",
+    "brute_force_spg",
+    "check_path",
+    "is_simple_path",
+    "spg_equal",
+]

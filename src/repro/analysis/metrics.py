@@ -1,0 +1,56 @@
+"""Scalar metrics reported by the paper's evaluation section.
+
+* coverage ratio ``r_C = |E(SPG_k)| / |E|`` (Figure 12(a)),
+* redundant ratio ``r_D = (|E(SPGu_k)| - |E(SPG_k)|) / |E(SPG_k)|``
+  (Table 3),
+* speedups of an algorithm given an alternative search space (Tables 4/5),
+* simple aggregation helpers (averages, max/median/min space).
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["average", "coverage_ratio", "redundant_ratio", "speedup", "aggregate_space"]
+
+
+def average(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    collected = list(values)
+    if not collected:
+        return 0.0
+    return sum(collected) / len(collected)
+
+
+def coverage_ratio(num_spg_edges: int, num_graph_edges: int) -> float:
+    """``r_C = |E(SPG_k)| / |E|`` (0.0 for an empty graph)."""
+    if num_graph_edges <= 0:
+        return 0.0
+    return num_spg_edges / num_graph_edges
+
+
+def redundant_ratio(num_upper_bound_edges: int, num_spg_edges: int) -> float:
+    """``r_D = (|E(SPGu_k)| - |E(SPG_k)|) / |E(SPG_k)|`` (0.0 when empty)."""
+    if num_spg_edges <= 0:
+        return 0.0
+    return (num_upper_bound_edges - num_spg_edges) / num_spg_edges
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """Return ``baseline / accelerated`` (``inf`` when the latter is 0)."""
+    if accelerated_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / accelerated_seconds
+
+
+def aggregate_space(peaks: Sequence[int]) -> Dict[str, float]:
+    """Return max / median / min of per-query space peaks (Figure 9)."""
+    if not peaks:
+        return {"max": 0.0, "median": 0.0, "min": 0.0}
+    values: List[int] = sorted(peaks)
+    return {
+        "max": float(values[-1]),
+        "median": float(median(values)),
+        "min": float(values[0]),
+    }

@@ -1,0 +1,81 @@
+"""Reference implementations and validity checks used by the test suite.
+
+``brute_force_spg`` computes ``SPG_k(s, t)`` straight from Definition 2.1 by
+enumerating every simple path with a plain DFS and unioning edges.  It is
+deliberately simple (and slow) so it can serve as ground truth in unit and
+property-based tests of EVE and of every enumeration baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro._types import Edge, Vertex
+from repro.graph.digraph import DiGraph
+
+__all__ = ["is_simple_path", "check_path", "brute_force_spg", "brute_force_paths", "spg_equal"]
+
+
+def is_simple_path(path: Sequence[Vertex]) -> bool:
+    """True when the vertex sequence has no repeated vertices."""
+    return len(set(path)) == len(path)
+
+
+def check_path(
+    graph: DiGraph, path: Sequence[Vertex], source: Vertex, target: Vertex, k: int
+) -> bool:
+    """True when ``path`` is a valid k-hop-constrained s-t simple path in ``graph``."""
+    if len(path) < 2:
+        return False
+    if path[0] != source or path[-1] != target:
+        return False
+    if len(path) - 1 > k:
+        return False
+    if not is_simple_path(path):
+        return False
+    for u, v in zip(path, path[1:]):
+        if not graph.has_edge(u, v):
+            return False
+    return True
+
+
+def brute_force_paths(
+    graph: DiGraph, source: Vertex, target: Vertex, k: int
+) -> List[Tuple[Vertex, ...]]:
+    """Enumerate all k-hop-constrained s-t simple paths by plain DFS."""
+    paths: List[Tuple[Vertex, ...]] = []
+    stack: List[Vertex] = [source]
+    on_stack: Set[Vertex] = {source}
+
+    def explore(vertex: Vertex) -> None:
+        if vertex == target:
+            paths.append(tuple(stack))
+            return
+        if len(stack) - 1 >= k:
+            return
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor in on_stack:
+                continue
+            stack.append(neighbor)
+            on_stack.add(neighbor)
+            explore(neighbor)
+            stack.pop()
+            on_stack.discard(neighbor)
+
+    if source != target:
+        explore(source)
+    return paths
+
+
+def brute_force_spg(graph: DiGraph, source: Vertex, target: Vertex, k: int) -> Set[Edge]:
+    """Ground-truth ``SPG_k(s, t)`` edge set straight from Definition 2.1."""
+    edges: Set[Edge] = set()
+    for path in brute_force_paths(graph, source, target, k):
+        for u, v in zip(path, path[1:]):
+            edges.add((u, v))
+    return edges
+
+
+def spg_equal(edges_a: Set[Edge], edges_b: Set[Edge]) -> bool:
+    """True when two SPG edge sets are identical."""
+    return set(edges_a) == set(edges_b)

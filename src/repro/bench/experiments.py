@@ -1,0 +1,565 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Every driver takes an :class:`~repro.bench.harness.ExperimentScale` and
+returns a list of row dictionaries; ``print(render_table(rows))`` shows the
+same rows/series the paper reports.  Absolute numbers differ from the paper
+(pure-Python on synthetic proxies instead of C++ on real billion-edge
+graphs); EXPERIMENTS.md records which qualitative shapes are expected to
+hold and what we measured.
+
+Driver index (see DESIGN.md section 4):
+
+=================  =====================================================
+``fig2b``          #edges in SPG_k vs #simple paths as k grows
+``fig8``           total query time: EVE vs JOIN vs PathEnum
+``fig9``           max/median/min space per algorithm (k=6)
+``fig10a``         max space vs k
+``fig10b``         average time vs dist(s, t)
+``fig10c``         EVE per-phase time breakdown
+``fig11``          ablation of EVE pruning strategies (k=7)
+``fig12a``         average coverage ratio vs k
+``fig12b``         EVE vs KHSQ+-assisted baselines
+``table3``         redundant ratio of the upper-bound graph
+``table4``         PathEnum speedups using SPG_k / G^k_st as search space
+``table5``         JOIN/PathEnum speedups for SPG generation on G^k_st
+``fig13``          fraud-detection case study on a transaction network
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import aggregate_space, average, coverage_ratio, redundant_ratio, speedup
+from repro.bench.harness import AlgorithmRegistry, ExperimentScale, QueryRunner
+from repro.core.eve import EVE, EVEConfig
+from repro.datasets.registry import load_dataset
+from repro.datasets.transaction import generate_transaction_network
+from repro.enumeration.join import JoinEnumerator
+from repro.enumeration.pathenum import PathEnum
+from repro.enumeration.spg_via_enumeration import EnumerationSPGBuilder
+from repro.exceptions import ExperimentError
+from repro.graph.subgraph import edge_induced_subgraph
+from repro.khsq.khsq import KHSQ, KHSQPlus
+from repro.queries.workload import distance_stratified_queries
+
+__all__ = [
+    "experiment_fig2b",
+    "experiment_fig8",
+    "experiment_fig9",
+    "experiment_fig10a",
+    "experiment_fig10b",
+    "experiment_fig10c",
+    "experiment_fig11",
+    "experiment_fig12a",
+    "experiment_fig12b",
+    "experiment_table3",
+    "experiment_table4",
+    "experiment_table5",
+    "experiment_fig13",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+_BASELINES = ("JOIN", "PathEnum")
+
+
+# ----------------------------------------------------------------------
+# Figure 2(b): growth of |E(SPG_k)| vs the number of simple paths
+# ----------------------------------------------------------------------
+def experiment_fig2b(scale: ExperimentScale, datasets: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Average #edges in SPG_k and #k-hop s-t simple paths as k grows."""
+    rows: List[Dict] = []
+    for code in datasets or scale.datasets[:2]:
+        graph = scale.load_graph(code)
+        eve = EVE(graph)
+        enumerator = PathEnum(graph)
+        for k in scale.hop_values:
+            workload = scale.workload(graph, k)
+            edge_counts: List[int] = []
+            path_counts: List[int] = []
+            for query in workload:
+                result = eve.query(query.source, query.target, k)
+                edge_counts.append(result.num_edges)
+                path_counts.append(
+                    enumerator.count_paths(
+                        query.source, query.target, k, time_budget=scale.per_query_budget
+                    )
+                )
+            rows.append(
+                {
+                    "graph": code,
+                    "k": k,
+                    "avg_spg_edges": average(edge_counts),
+                    "avg_simple_paths": average(path_counts),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8: total query time, EVE vs enumeration baselines
+# ----------------------------------------------------------------------
+def experiment_fig8(scale: ExperimentScale, algorithms: Sequence[str] = ("EVE",) + _BASELINES) -> List[Dict]:
+    """Total time to answer the workload, per graph / k / algorithm."""
+    runner = QueryRunner()
+    rows: List[Dict] = []
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        registry = AlgorithmRegistry(graph, scale.per_query_budget)
+        for k in scale.hop_values:
+            workload = scale.workload(graph, k)
+            for name in algorithms:
+                measurements = runner.run(
+                    name, registry.build(name), workload, scale.timeout_seconds
+                )
+                completed = len(measurements)
+                rows.append(
+                    {
+                        "graph": code,
+                        "k": k,
+                        "algorithm": name,
+                        "total_ms": runner.total_seconds(measurements) * 1000.0,
+                        "avg_ms": runner.average_seconds(measurements) * 1000.0,
+                        "queries": completed,
+                        "timed_out": completed < len(workload),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9: space cost distribution at k = 6
+# ----------------------------------------------------------------------
+def experiment_fig9(scale: ExperimentScale, k: int = 6, algorithms: Sequence[str] = ("EVE",) + _BASELINES) -> List[Dict]:
+    """Max / median / min peak retained items per algorithm (k fixed)."""
+    runner = QueryRunner()
+    rows: List[Dict] = []
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        registry = AlgorithmRegistry(graph, scale.per_query_budget)
+        workload = scale.workload(graph, k)
+        for name in algorithms:
+            measurements = runner.run(
+                name, registry.build(name), workload, scale.timeout_seconds
+            )
+            stats = aggregate_space([m.space_peak for m in measurements])
+            rows.append(
+                {
+                    "graph": code,
+                    "k": k,
+                    "algorithm": name,
+                    "space_max": stats["max"],
+                    "space_median": stats["median"],
+                    "space_min": stats["min"],
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10(a): max space vs k
+# ----------------------------------------------------------------------
+def experiment_fig10a(scale: ExperimentScale, datasets: Optional[Sequence[str]] = None,
+                      algorithms: Sequence[str] = ("EVE",) + _BASELINES) -> List[Dict]:
+    """Maximum peak space as a function of k for two graphs (paper: wn, bs)."""
+    runner = QueryRunner()
+    rows: List[Dict] = []
+    for code in datasets or scale.datasets[:2]:
+        graph = scale.load_graph(code)
+        registry = AlgorithmRegistry(graph, scale.per_query_budget)
+        for k in scale.hop_values:
+            workload = scale.workload(graph, k)
+            for name in algorithms:
+                measurements = runner.run(
+                    name, registry.build(name), workload, scale.timeout_seconds
+                )
+                stats = aggregate_space([m.space_peak for m in measurements])
+                rows.append(
+                    {
+                        "graph": code,
+                        "k": k,
+                        "algorithm": name,
+                        "space_max": stats["max"],
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10(b): query time vs shortest distance between s and t
+# ----------------------------------------------------------------------
+def experiment_fig10b(scale: ExperimentScale, k: int = 6, datasets: Optional[Sequence[str]] = None,
+                      algorithms: Sequence[str] = ("EVE",) + _BASELINES) -> List[Dict]:
+    """Average query time for queries grouped by exact dist(s, t)."""
+    runner = QueryRunner()
+    rows: List[Dict] = []
+    for code in datasets or scale.datasets[:2]:
+        graph = scale.load_graph(code)
+        registry = AlgorithmRegistry(graph, scale.per_query_budget)
+        stratified = distance_stratified_queries(
+            graph, k, per_distance=scale.num_queries, seed=scale.seed
+        )
+        for distance, workload in sorted(stratified.items()):
+            if not workload.queries:
+                continue
+            for name in algorithms:
+                measurements = runner.run(
+                    name, registry.build(name), workload, scale.timeout_seconds
+                )
+                rows.append(
+                    {
+                        "graph": code,
+                        "distance": distance,
+                        "algorithm": name,
+                        "avg_ms": runner.average_seconds(measurements) * 1000.0,
+                        "queries": len(measurements),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10(c): per-phase time breakdown of EVE
+# ----------------------------------------------------------------------
+def experiment_fig10c(scale: ExperimentScale, datasets: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Per-phase time of EVE for k >= 5 (paper: dense ye vs sparse bs)."""
+    rows: List[Dict] = []
+    for code in datasets or scale.datasets[:2]:
+        graph = scale.load_graph(code)
+        eve = EVE(graph)
+        for k in [k for k in scale.hop_values if k >= 5] or [5]:
+            workload = scale.workload(graph, k)
+            totals = {"propagation": 0.0, "upper_bound": 0.0, "verification": 0.0}
+            for query in workload:
+                result = eve.query(query.source, query.target, k)
+                phases = result.phases
+                totals["propagation"] += phases.distance_seconds + phases.propagation_seconds
+                totals["upper_bound"] += phases.upper_bound_seconds
+                totals["verification"] += phases.ordering_seconds + phases.verification_seconds
+            for phase, seconds in totals.items():
+                rows.append(
+                    {
+                        "graph": code,
+                        "k": k,
+                        "phase": phase,
+                        "total_ms": seconds * 1000.0,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11: ablation of EVE's pruning strategies (k = 7 in the paper)
+# ----------------------------------------------------------------------
+def experiment_fig11(scale: ExperimentScale, k: int = 7) -> List[Dict]:
+    """Total time of EVE variants with individual techniques disabled."""
+    variants: Dict[str, EVEConfig] = {
+        "Naive EVE": EVEConfig.naive(),
+        "+forward-looking": EVEConfig(
+            distance_strategy="single", forward_looking=True, search_ordering=False
+        ),
+        "+bi-directional": EVEConfig(
+            distance_strategy="bidirectional", forward_looking=True, search_ordering=False
+        ),
+        "+adaptive": EVEConfig(
+            distance_strategy="adaptive", forward_looking=True, search_ordering=False
+        ),
+        "EVE (full)": EVEConfig(),
+    }
+    runner = QueryRunner()
+    rows: List[Dict] = []
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        workload = scale.workload(graph, k)
+        for variant_name, config in variants.items():
+            engine = EVE(graph, config)
+            measurements = runner.run(
+                variant_name, engine.query, workload, scale.timeout_seconds
+            )
+            rows.append(
+                {
+                    "graph": code,
+                    "k": k,
+                    "variant": variant_name,
+                    "total_ms": runner.total_seconds(measurements) * 1000.0,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12(a): average coverage ratio vs k
+# ----------------------------------------------------------------------
+def experiment_fig12a(scale: ExperimentScale) -> List[Dict]:
+    """Average coverage ratio r_C = |E(SPG_k)| / |E| per graph and k."""
+    rows: List[Dict] = []
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        eve = EVE(graph)
+        for k in scale.hop_values:
+            workload = scale.workload(graph, k)
+            ratios = [
+                coverage_ratio(
+                    eve.query(query.source, query.target, k).num_edges, graph.num_edges
+                )
+                for query in workload
+            ]
+            rows.append(
+                {
+                    "graph": code,
+                    "k": k,
+                    "avg_coverage_ratio": average(ratios),
+                    "d_avg": round(graph.average_degree(), 2),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12(b): EVE vs KHSQ+-assisted JOIN / PathEnum
+# ----------------------------------------------------------------------
+def experiment_fig12b(scale: ExperimentScale, datasets: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Total time of EVE against baselines enhanced with the G^k_st search space."""
+    algorithms = ("EVE", "KHSQ+JOIN", "KHSQ+PathEnum")
+    runner = QueryRunner()
+    rows: List[Dict] = []
+    for code in datasets or scale.datasets[:3]:
+        graph = scale.load_graph(code)
+        registry = AlgorithmRegistry(graph, scale.per_query_budget)
+        for k in scale.hop_values:
+            workload = scale.workload(graph, k)
+            for name in algorithms:
+                measurements = runner.run(
+                    name, registry.build(name), workload, scale.timeout_seconds
+                )
+                rows.append(
+                    {
+                        "graph": code,
+                        "k": k,
+                        "algorithm": name,
+                        "total_ms": runner.total_seconds(measurements) * 1000.0,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3: redundant ratio of the upper-bound graph
+# ----------------------------------------------------------------------
+def experiment_table3(scale: ExperimentScale) -> List[Dict]:
+    """Average redundant ratio r_D per graph and k (k >= 5 is the hard case)."""
+    rows: List[Dict] = []
+    hop_values = [k for k in scale.hop_values if k >= 5] or [5, 6]
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        eve = EVE(graph)
+        for k in hop_values:
+            workload = scale.workload(graph, k)
+            ratios = []
+            for query in workload:
+                result = eve.query(query.source, query.target, k)
+                ratios.append(
+                    redundant_ratio(result.num_upper_bound_edges, result.num_edges)
+                )
+            rows.append(
+                {
+                    "graph": code,
+                    "k": k,
+                    "avg_redundant_ratio": average(ratios),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 4: speedups of PathEnum given SPG_k / G^k_st as search space
+# ----------------------------------------------------------------------
+def experiment_table4(scale: ExperimentScale) -> List[Dict]:
+    """Speedups of PathEnum when run on KHSQ, KHSQ+ or EVE search spaces.
+
+    Two speedups are reported per (graph, k, search space):
+
+    * ``time_speedup`` — (PathEnum on ``G``) / (search-space generation +
+      PathEnum on it), the paper's Table 4 metric;
+    * ``work_speedup`` — PathEnum neighbour expansions on ``G`` divided by
+      its expansions on the restricted search space.  This is the
+      machine-independent view of the same effect and is the quantity that
+      survives the pure-Python constant factors at laptop scale (see
+      EXPERIMENTS.md).
+    """
+    rows: List[Dict] = []
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        eve = EVE(graph)
+        khsq_plus = KHSQPlus(graph)
+        khsq_single = KHSQ(graph)
+        for k in scale.hop_values:
+            workload = scale.workload(graph, k)
+            baseline_total = 0.0
+            baseline_work = 0
+            assisted_totals = {"KHSQ": 0.0, "KHSQ+": 0.0, "EVE": 0.0}
+            assisted_work = {"KHSQ": 0, "KHSQ+": 0, "EVE": 0}
+            for query in workload:
+                source, target = query.source, query.target
+                baseline_enum = PathEnum(graph)
+                started = time.perf_counter()
+                baseline_enum.enumerate(
+                    source, target, k, time_budget=scale.per_query_budget
+                )
+                baseline_total += time.perf_counter() - started
+                baseline_work += baseline_enum.expansions
+
+                for name, provider in (
+                    ("KHSQ", khsq_single),
+                    ("KHSQ+", khsq_plus),
+                ):
+                    started = time.perf_counter()
+                    subgraph_result = provider.query(source, target, k)
+                    search_space = subgraph_result.to_graph(graph)
+                    assisted_enum = PathEnum(search_space)
+                    assisted_enum.enumerate(
+                        source, target, k, time_budget=scale.per_query_budget
+                    )
+                    assisted_totals[name] += time.perf_counter() - started
+                    assisted_work[name] += assisted_enum.expansions
+
+                started = time.perf_counter()
+                spg_result = eve.query(source, target, k)
+                search_space = spg_result.to_graph(graph)
+                assisted_enum = PathEnum(search_space)
+                assisted_enum.enumerate(
+                    source, target, k, time_budget=scale.per_query_budget
+                )
+                assisted_totals["EVE"] += time.perf_counter() - started
+                assisted_work["EVE"] += assisted_enum.expansions
+            for name, assisted_total in assisted_totals.items():
+                rows.append(
+                    {
+                        "graph": code,
+                        "k": k,
+                        "search_space": name,
+                        "time_speedup": speedup(baseline_total, assisted_total),
+                        "work_speedup": speedup(float(baseline_work), float(assisted_work[name])),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 5: speedups for SPG generation on G^k_st (k = 6 in the paper)
+# ----------------------------------------------------------------------
+def experiment_table5(scale: ExperimentScale, k: int = 6) -> List[Dict]:
+    """Speedups of JOIN / PathEnum when generating SPG_k on G^k_st instead of G."""
+    rows: List[Dict] = []
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        khsq_plus = KHSQPlus(graph)
+        workload = scale.workload(graph, k)
+        for enumerator_class in (JoinEnumerator, PathEnum):
+            plain_total = 0.0
+            assisted_total = 0.0
+            space_reductions: List[float] = []
+            for query in workload:
+                source, target = query.source, query.target
+                started = time.perf_counter()
+                EnumerationSPGBuilder(
+                    graph, enumerator_class, scale.per_query_budget
+                ).query(source, target, k)
+                plain_total += time.perf_counter() - started
+
+                started = time.perf_counter()
+                subgraph_result = khsq_plus.query(source, target, k)
+                search_space = subgraph_result.to_graph(graph)
+                EnumerationSPGBuilder(
+                    search_space, enumerator_class, scale.per_query_budget
+                ).query(source, target, k)
+                assisted_total += time.perf_counter() - started
+                if subgraph_result.num_edges:
+                    space_reductions.append(graph.num_edges / subgraph_result.num_edges)
+            rows.append(
+                {
+                    "graph": code,
+                    "k": k,
+                    "algorithm": enumerator_class(graph).name,
+                    "speedup_on_Gkst": speedup(plain_total, assisted_total),
+                    "avg_edge_reduction": average(space_reductions),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 13: fraud-detection case study on a temporal transaction network
+# ----------------------------------------------------------------------
+def experiment_fig13(
+    scale: ExperimentScale,
+    k: int = 5,
+    window_days: float = 7.0,
+    num_accounts: int = 400,
+    num_transactions: int = 3000,
+) -> List[Dict]:
+    """Extract the accounts involved in short cycles through a flagged edge.
+
+    For the flagged transaction ``e(t, s)`` the driver computes
+    ``SPG_k(s, t)`` on the transaction snapshot of the last ``window_days``
+    days and compares the recovered accounts with the planted fraud ring.
+    """
+    network = generate_transaction_network(
+        num_accounts=num_accounts,
+        num_transactions=num_transactions,
+        seed=scale.seed,
+    )
+    if network.flagged_edge is None:
+        raise ExperimentError("transaction network generator produced no flagged edge")
+    payer, payee, _ = network.flagged_edge  # flagged edge is e(t, s)
+    source, target = payee, payer
+    snapshot = network.window_around_flag(window_days)
+    eve = EVE(snapshot)
+    result = eve.query(source, target, k)
+    recovered = set(result.vertices)
+    planted_ring = set(network.fraud_rings[0])
+    true_positives = len(recovered & planted_ring)
+    return [
+        {
+            "query": f"SPG_{k}({source},{target})",
+            "window_days": window_days,
+            "snapshot_edges": snapshot.num_edges,
+            "suspicious_accounts": len(recovered),
+            "suspicious_transactions": result.num_edges,
+            "planted_ring_size": len(planted_ring),
+            "ring_recovered": true_positives,
+            "recall": true_positives / len(planted_ring) if planted_ring else 0.0,
+            "query_ms": result.phases.total_seconds * 1000.0,
+        }
+    ]
+
+
+# ----------------------------------------------------------------------
+# Registry + CLI entry point used by ``python -m repro.bench``
+# ----------------------------------------------------------------------
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], List[Dict]]] = {
+    "fig2b": experiment_fig2b,
+    "fig8": experiment_fig8,
+    "fig9": experiment_fig9,
+    "fig10a": experiment_fig10a,
+    "fig10b": experiment_fig10b,
+    "fig10c": experiment_fig10c,
+    "fig11": experiment_fig11,
+    "fig12a": experiment_fig12a,
+    "fig12b": experiment_fig12b,
+    "table3": experiment_table3,
+    "table4": experiment_table4,
+    "table5": experiment_table5,
+    "fig13": experiment_fig13,
+}
+
+
+def run_experiment(name: str, scale: Optional[ExperimentScale] = None) -> List[Dict]:
+    """Run one named experiment and return its rows."""
+    if name not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[name](scale or ExperimentScale.small())

@@ -1,0 +1,241 @@
+"""Shared experiment machinery: scales, algorithm registry, query runner.
+
+Every experiment driver in :mod:`repro.bench.experiments` is parameterised
+by an :class:`ExperimentScale` so the same code can run at three sizes:
+
+* ``tiny()``   — seconds; used by the unit tests of the harness itself;
+* ``small()``  — the default for ``pytest benchmarks/`` (laptop friendly);
+* ``paper()``  — the closest feasible approximation of the paper's setup
+  (all 15 proxy datasets, more queries, larger proxies).
+
+The :class:`QueryRunner` times one SPG algorithm over a query workload and
+returns per-query measurements; :class:`AlgorithmRegistry` builds the
+standard competitors (EVE, JOIN, PathEnum, and the KHSQ+-assisted variants)
+for a given graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro._types import Vertex
+from repro.core.eve import EVE, EVEConfig
+from repro.core.result import SimplePathGraphResult
+from repro.datasets.registry import load_dataset
+from repro.enumeration.bcdfs import BCDFS
+from repro.enumeration.join import JoinEnumerator
+from repro.enumeration.pathenum import PathEnum
+from repro.enumeration.spg_via_enumeration import EnumerationSPGBuilder
+from repro.exceptions import ExperimentError
+from repro.graph.digraph import DiGraph
+from repro.khsq.khsq import KHSQ, KHSQPlus
+from repro.queries.workload import QueryWorkload, random_reachable_queries
+
+__all__ = ["ExperimentScale", "QueryMeasurement", "QueryRunner", "AlgorithmRegistry"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment drivers."""
+
+    dataset_scale: float = 0.25
+    num_queries: int = 5
+    hop_values: Sequence[int] = (3, 4, 5, 6)
+    datasets: Sequence[str] = ("ps", "ye", "tw", "bs")
+    seed: int = 7
+    timeout_seconds: float = 30.0
+    per_query_budget: float = 2.0
+
+    @classmethod
+    def tiny(cls) -> "ExperimentScale":
+        """Smallest useful scale — used by unit tests of the harness."""
+        return cls(
+            dataset_scale=0.08,
+            num_queries=2,
+            hop_values=(3, 4),
+            datasets=("tw", "ps"),
+            seed=7,
+            timeout_seconds=10.0,
+            per_query_budget=0.5,
+        )
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        """Default scale for ``pytest benchmarks/`` runs."""
+        return cls(
+            dataset_scale=0.25,
+            num_queries=5,
+            hop_values=(3, 4, 5, 6),
+            datasets=("ps", "ye", "tw", "bs"),
+            seed=7,
+            timeout_seconds=30.0,
+            per_query_budget=1.0,
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """All 15 proxies, more queries — the closest feasible full run."""
+        from repro.datasets.registry import dataset_names
+
+        return cls(
+            dataset_scale=1.0,
+            num_queries=50,
+            hop_values=(3, 4, 5, 6, 7, 8),
+            datasets=tuple(dataset_names()),
+            seed=7,
+            timeout_seconds=600.0,
+            per_query_budget=10.0,
+        )
+
+    # ------------------------------------------------------------------
+    def load_graph(self, code: str) -> DiGraph:
+        """Load the synthetic proxy for dataset ``code`` at this scale."""
+        return load_dataset(code, scale=self.dataset_scale, seed=None)
+
+    def workload(self, graph: DiGraph, k: int) -> QueryWorkload:
+        """Generate the random reachable query workload for one graph/k."""
+        return random_reachable_queries(
+            graph, k, self.num_queries, seed=self.seed
+        )
+
+
+@dataclass
+class QueryMeasurement:
+    """Timing/space/result sizes for one query under one algorithm."""
+
+    algorithm: str
+    source: Vertex
+    target: Vertex
+    k: int
+    seconds: float
+    space_peak: int
+    num_edges: int
+    num_upper_bound_edges: int
+    result: Optional[SimplePathGraphResult] = None
+
+
+class QueryRunner:
+    """Times an SPG algorithm (a ``query(s, t, k)`` callable) over a workload."""
+
+    def __init__(self, keep_results: bool = False) -> None:
+        self.keep_results = keep_results
+
+    def run(
+        self,
+        algorithm_name: str,
+        query_function: Callable[[Vertex, Vertex, int], SimplePathGraphResult],
+        workload: Iterable,
+        timeout_seconds: Optional[float] = None,
+    ) -> List[QueryMeasurement]:
+        """Run every query of ``workload`` and return per-query measurements.
+
+        When ``timeout_seconds`` is given and the accumulated time exceeds
+        it, remaining queries are skipped (mirroring the paper's ``INF``
+        cut-off for algorithms that do not terminate in time).
+        """
+        measurements: List[QueryMeasurement] = []
+        total = 0.0
+        for query in workload:
+            if timeout_seconds is not None and total > timeout_seconds:
+                break
+            started = time.perf_counter()
+            result = query_function(query.source, query.target, query.k)
+            elapsed = time.perf_counter() - started
+            total += elapsed
+            measurements.append(
+                QueryMeasurement(
+                    algorithm=algorithm_name,
+                    source=query.source,
+                    target=query.target,
+                    k=query.k,
+                    seconds=elapsed,
+                    space_peak=result.space.peak,
+                    num_edges=result.num_edges,
+                    num_upper_bound_edges=result.num_upper_bound_edges,
+                    result=result if self.keep_results else None,
+                )
+            )
+        return measurements
+
+    @staticmethod
+    def total_seconds(measurements: Sequence[QueryMeasurement]) -> float:
+        """Total time across measurements."""
+        return sum(m.seconds for m in measurements)
+
+    @staticmethod
+    def average_seconds(measurements: Sequence[QueryMeasurement]) -> float:
+        """Average per-query time (0.0 when empty)."""
+        if not measurements:
+            return 0.0
+        return sum(m.seconds for m in measurements) / len(measurements)
+
+
+class AlgorithmRegistry:
+    """Builds the standard SPG-generation competitors for one graph.
+
+    * ``EVE`` — the paper's algorithm (optionally with ablation config);
+    * ``JOIN`` / ``PathEnum`` — enumeration baselines (union of path edges);
+    * ``KHSQ+...`` variants — compute ``G^k_st`` first, then run the
+      enumeration baseline on it (Section 6.8).
+
+    ``time_budget`` caps each enumeration-based query (in seconds); queries
+    that hit the cap return a truncated (inexact) result, mirroring the
+    paper's ``INF`` reporting for baselines that run out of time.
+    """
+
+    def __init__(self, graph: DiGraph, time_budget: Optional[float] = None) -> None:
+        self.graph = graph
+        self.time_budget = time_budget
+
+    def eve(self, config: Optional[EVEConfig] = None) -> Callable:
+        """Return a ``query(s, t, k)`` callable running EVE."""
+        engine = EVE(self.graph, config)
+        return engine.query
+
+    def join_baseline(self) -> Callable:
+        """SPG generation by JOIN enumeration on the full graph."""
+        return EnumerationSPGBuilder(self.graph, JoinEnumerator, self.time_budget).query
+
+    def pathenum_baseline(self) -> Callable:
+        """SPG generation by PathEnum enumeration on the full graph."""
+        return EnumerationSPGBuilder(self.graph, PathEnum, self.time_budget).query
+
+    def bcdfs_baseline(self) -> Callable:
+        """SPG generation by BC-DFS enumeration on the full graph."""
+        return EnumerationSPGBuilder(self.graph, BCDFS, self.time_budget).query
+
+    def khsq_assisted(self, enumerator_class, optimized: bool = True) -> Callable:
+        """SPG generation on ``G^k_st``: KHSQ(+) first, then enumeration."""
+        graph = self.graph
+        time_budget = self.time_budget
+        subgraph_algorithm = KHSQPlus(graph) if optimized else KHSQ(graph)
+
+        def query(source: Vertex, target: Vertex, k: int) -> SimplePathGraphResult:
+            subgraph_result = subgraph_algorithm.query(source, target, k)
+            search_space = subgraph_result.to_graph(graph)
+            builder = EnumerationSPGBuilder(search_space, enumerator_class, time_budget)
+            result = builder.query(source, target, k)
+            result.algorithm = f"{subgraph_algorithm.name}+{builder.enumerator.name}"
+            # Fold the subgraph-construction time into the reported total.
+            result.phases.distance_seconds += subgraph_result.seconds
+            return result
+
+        return query
+
+    def build(self, name: str) -> Callable:
+        """Look up a query callable by its report name."""
+        factories: Dict[str, Callable[[], Callable]] = {
+            "EVE": self.eve,
+            "JOIN": self.join_baseline,
+            "PathEnum": self.pathenum_baseline,
+            "BC-DFS": self.bcdfs_baseline,
+            "KHSQ+JOIN": lambda: self.khsq_assisted(JoinEnumerator, optimized=True),
+            "KHSQ+PathEnum": lambda: self.khsq_assisted(PathEnum, optimized=True),
+        }
+        if name not in factories:
+            raise ExperimentError(
+                f"unknown algorithm {name!r}; known: {', '.join(sorted(factories))}"
+            )
+        return factories[name]()

@@ -1,0 +1,97 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The harness keeps results as lists of row dictionaries; these helpers turn
+them into aligned text tables so benchmark runs print the same rows/series
+the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_value", "render_table", "render_series", "pivot_rows"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Format one cell: floats get fixed precision, other values use str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:.1f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Column order defaults to the key order of the first row; missing cells
+    render as ``-``.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    keys = list(columns) if columns else list(rows[0].keys())
+    rendered_rows = [
+        [format_value(row.get(key, "-"), precision) for key in keys] for row in rows
+    ]
+    widths = [
+        max(len(key), max(len(rendered[i]) for rendered in rendered_rows))
+        for i, key in enumerate(keys)
+    ]
+    header = " | ".join(key.ljust(widths[i]) for i, key in enumerate(keys))
+    separator = "-+-".join("-" * widths[i] for i in range(len(keys)))
+    lines.append(header)
+    lines.append(separator)
+    for rendered in rendered_rows:
+        lines.append(" | ".join(rendered[i].ljust(widths[i]) for i in range(len(keys))))
+    return "\n".join(lines)
+
+
+def pivot_rows(
+    rows: Sequence[Mapping[str, object]],
+    index: str,
+    column: str,
+    value: str,
+) -> List[Dict[str, object]]:
+    """Pivot long-format rows into wide format (one column per ``column`` value)."""
+    column_values: List[object] = []
+    for row in rows:
+        if row[column] not in column_values:
+            column_values.append(row[column])
+    grouped: Dict[object, Dict[str, object]] = {}
+    order: List[object] = []
+    for row in rows:
+        key = row[index]
+        if key not in grouped:
+            grouped[key] = {index: key}
+            order.append(key)
+        grouped[key][str(row[column])] = row[value]
+    return [grouped[key] for key in order]
+
+
+def render_series(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    series: str,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render long-format rows as one table with the x values as rows and one
+    column per series — the layout used for figure-style results."""
+    pivoted = pivot_rows(rows, index=x, column=series, value=y)
+    return render_table(pivoted, title=title, precision=precision)

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the EVE algorithm.
+
+EVE (Essential Vertices based Examination) generates the k-hop-constrained
+s-t simple path graph ``SPG_k(s, t)`` in three phases:
+
+1. :mod:`repro.core.distances` + :mod:`repro.core.essential` — bounded
+   shortest distances and essential-vertex propagation (Section 3).
+2. :mod:`repro.core.labeling` — edge labelling and the upper-bound graph
+   ``SPGu_k(s, t)`` (Section 4).
+3. :mod:`repro.core.verification` — DFS-oriented verification of
+   undetermined edges with tuned search orders (Section 5).
+
+The user-facing entry points are :class:`repro.core.eve.EVE` and the
+convenience function :func:`repro.core.eve.build_spg`.
+"""
+
+from repro.core.eve import EVE, EVEConfig, build_spg, build_upper_bound
+from repro.core.result import EdgeLabel, PhaseStats, SimplePathGraphResult
+
+__all__ = [
+    "EVE",
+    "EVEConfig",
+    "build_spg",
+    "build_upper_bound",
+    "EdgeLabel",
+    "PhaseStats",
+    "SimplePathGraphResult",
+]

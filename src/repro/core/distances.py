@@ -1,0 +1,327 @@
+"""Bounded shortest-distance computation (Section 3.3, Figure 6(a)).
+
+Before propagating essential vertices, EVE needs the shortest distances
+``dist(s, y)`` and ``dist(y, t)`` for every vertex ``y`` that can possibly
+lie on a k-hop-constrained s-t path, i.e. every ``y`` with
+``dist(s, y) + dist(y, t) <= k``.  Vertices outside this *candidate space*
+may be ignored (their distance is treated as infinity), which is exactly
+what the forward-looking pruning rule needs.
+
+Three strategies are implemented, matching the ablation in Figure 11:
+
+``single``
+    Two independent breadth-first searches bounded by depth ``k`` (forward
+    from ``s`` on ``G``, backward from ``t`` on ``G`` reversed).
+``bidirectional``
+    Classic balanced bi-directional BFS: forward to depth ``ceil(k/2)``,
+    backward to depth ``floor(k/2)``, then each side is extended to depth
+    ``k`` restricted to vertices already discovered by the other side.
+``adaptive``
+    Adaptive bi-directional search: at every step the side with the smaller
+    frontier advances, until the two explored depths sum to ``k``; the same
+    restricted extension then completes the candidate space.
+
+All strategies return a :class:`DistanceIndex` whose distances are *exact*
+for every candidate vertex; the restricted extension is correct because any
+vertex on a shortest path to a candidate vertex is itself within the other
+side's explored radius (see the proof sketch in the module tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro._types import Vertex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["DistanceIndex", "compute_distance_index", "bounded_bfs", "DISTANCE_STRATEGIES"]
+
+DISTANCE_STRATEGIES = ("single", "bidirectional", "adaptive")
+
+_INF = float("inf")
+
+
+@dataclass
+class DistanceIndex:
+    """Shortest distances from ``s`` and to ``t`` over the candidate space.
+
+    Attributes
+    ----------
+    source, target, k:
+        The query this index was built for.
+    from_source:
+        ``{vertex: dist(s, vertex)}`` — exact for every candidate vertex.
+    to_target:
+        ``{vertex: dist(vertex, t)}`` — exact for every candidate vertex.
+    explored_vertices:
+        Total number of vertex expansions performed (search-space size; used
+        by the Figure 11 ablation report).
+    strategy:
+        Which strategy produced the index.
+    """
+
+    source: Vertex
+    target: Vertex
+    k: int
+    from_source: Dict[Vertex, int] = field(default_factory=dict)
+    to_target: Dict[Vertex, int] = field(default_factory=dict)
+    explored_vertices: int = 0
+    strategy: str = "adaptive"
+
+    # ------------------------------------------------------------------
+    def dist_from_source(self, vertex: Vertex) -> float:
+        """Return ``dist(s, vertex)`` or ``inf`` if unknown/out of space."""
+        return self.from_source.get(vertex, _INF)
+
+    def dist_to_target(self, vertex: Vertex) -> float:
+        """Return ``dist(vertex, t)`` or ``inf`` if unknown/out of space."""
+        return self.to_target.get(vertex, _INF)
+
+    def in_candidate_space(self, vertex: Vertex) -> bool:
+        """True when ``dist(s, v) + dist(v, t) <= k``."""
+        return (
+            self.dist_from_source(vertex) + self.dist_to_target(vertex) <= self.k
+        )
+
+    def candidate_vertices(self) -> Set[Vertex]:
+        """Return all vertices in the candidate space."""
+        return {
+            v
+            for v, d in self.from_source.items()
+            if d + self.dist_to_target(v) <= self.k
+        }
+
+    def shortest_st_distance(self) -> float:
+        """Return ``dist(s, t)`` (may be ``inf`` when t is unreachable in k)."""
+        return self.dist_from_source(self.target)
+
+    def size(self) -> int:
+        """Number of stored distance entries (space accounting)."""
+        return len(self.from_source) + len(self.to_target)
+
+
+# ----------------------------------------------------------------------
+# Elementary bounded BFS
+# ----------------------------------------------------------------------
+def bounded_bfs(
+    graph: DiGraph,
+    source: Vertex,
+    max_depth: int,
+    reverse: bool = False,
+    allowed: Optional[Dict[Vertex, int]] = None,
+    allowed_budget: Optional[int] = None,
+) -> Dict[Vertex, int]:
+    """Breadth-first search from ``source`` bounded by ``max_depth`` hops.
+
+    Parameters
+    ----------
+    reverse:
+        When true, traverse in-edges instead of out-edges (used for the
+        backward search from ``t``).
+    allowed / allowed_budget:
+        When provided, a vertex ``v`` at depth ``d`` is only expanded/kept if
+        ``allowed`` knows it and ``d + allowed[v] <= allowed_budget``.  This
+        implements the restricted extension phase of (adaptive)
+        bi-directional search.
+    """
+    distances: Dict[Vertex, int] = {source: 0}
+    frontier: deque = deque([source])
+    depth = 0
+    while frontier and depth < max_depth:
+        depth += 1
+        next_frontier: deque = deque()
+        while frontier:
+            vertex = frontier.popleft()
+            neighbors = (
+                graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
+            )
+            for neighbor in neighbors:
+                if neighbor in distances:
+                    continue
+                if allowed is not None:
+                    other = allowed.get(neighbor)
+                    if other is None or depth + other > (allowed_budget or 0):
+                        continue
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+# ----------------------------------------------------------------------
+# Strategy drivers
+# ----------------------------------------------------------------------
+def _expand_one_level(
+    graph: DiGraph,
+    distances: Dict[Vertex, int],
+    frontier: List[Vertex],
+    depth: int,
+    reverse: bool,
+) -> List[Vertex]:
+    """Expand ``frontier`` by one hop, recording new distances at ``depth``."""
+    next_frontier: List[Vertex] = []
+    for vertex in frontier:
+        neighbors = (
+            graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
+        )
+        for neighbor in neighbors:
+            if neighbor not in distances:
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+    return next_frontier
+
+
+def _restricted_extension(
+    graph: DiGraph,
+    distances: Dict[Vertex, int],
+    frontier: List[Vertex],
+    start_depth: int,
+    k: int,
+    other_side: Dict[Vertex, int],
+    reverse: bool,
+) -> int:
+    """Extend a partially-explored side up to depth ``k``.
+
+    Only vertices whose distance on the *other* side is known and compatible
+    with the hop budget are added; this keeps the search inside the
+    candidate space while preserving exact distances for candidates.
+    Returns the number of vertex expansions performed.
+    """
+    explored = 0
+    depth = start_depth
+    current = frontier
+    while current and depth < k:
+        depth += 1
+        next_frontier: List[Vertex] = []
+        for vertex in current:
+            neighbors = (
+                graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
+            )
+            for neighbor in neighbors:
+                if neighbor in distances:
+                    continue
+                other = other_side.get(neighbor)
+                if other is None or depth + other > k:
+                    continue
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+                explored += 1
+        current = next_frontier
+    return explored
+
+
+def _single_directional(graph: DiGraph, s: Vertex, t: Vertex, k: int) -> DistanceIndex:
+    forward = bounded_bfs(graph, s, k, reverse=False)
+    backward = bounded_bfs(graph, t, k, reverse=True)
+    index = DistanceIndex(
+        source=s,
+        target=t,
+        k=k,
+        from_source=forward,
+        to_target=backward,
+        explored_vertices=len(forward) + len(backward),
+        strategy="single",
+    )
+    return index
+
+
+def _two_phase(
+    graph: DiGraph,
+    s: Vertex,
+    t: Vertex,
+    k: int,
+    adaptive: bool,
+) -> DistanceIndex:
+    forward: Dict[Vertex, int] = {s: 0}
+    backward: Dict[Vertex, int] = {t: 0}
+    forward_frontier: List[Vertex] = [s]
+    backward_frontier: List[Vertex] = [t]
+    forward_depth = 0
+    backward_depth = 0
+    explored = 2
+
+    if adaptive:
+        # Advance the smaller frontier until the two depths cover k hops.
+        while forward_depth + backward_depth < k:
+            forward_alive = bool(forward_frontier)
+            backward_alive = bool(backward_frontier)
+            if not forward_alive and not backward_alive:
+                break
+            advance_forward = forward_alive and (
+                not backward_alive
+                or len(forward_frontier) <= len(backward_frontier)
+            )
+            if advance_forward:
+                forward_depth += 1
+                forward_frontier = _expand_one_level(
+                    graph, forward, forward_frontier, forward_depth, reverse=False
+                )
+                explored += len(forward_frontier)
+            else:
+                backward_depth += 1
+                backward_frontier = _expand_one_level(
+                    graph, backward, backward_frontier, backward_depth, reverse=True
+                )
+                explored += len(backward_frontier)
+    else:
+        forward_budget = (k + 1) // 2
+        backward_budget = k - forward_budget
+        while forward_depth < forward_budget and forward_frontier:
+            forward_depth += 1
+            forward_frontier = _expand_one_level(
+                graph, forward, forward_frontier, forward_depth, reverse=False
+            )
+            explored += len(forward_frontier)
+        while backward_depth < backward_budget and backward_frontier:
+            backward_depth += 1
+            backward_frontier = _expand_one_level(
+                graph, backward, backward_frontier, backward_depth, reverse=True
+            )
+            explored += len(backward_frontier)
+
+    # Phase 2: restricted extension so every candidate vertex gets an exact
+    # distance on both sides.
+    explored += _restricted_extension(
+        graph, forward, forward_frontier, forward_depth, k, backward, reverse=False
+    )
+    explored += _restricted_extension(
+        graph, backward, backward_frontier, backward_depth, k, forward, reverse=True
+    )
+    return DistanceIndex(
+        source=s,
+        target=t,
+        k=k,
+        from_source=forward,
+        to_target=backward,
+        explored_vertices=explored,
+        strategy="adaptive" if adaptive else "bidirectional",
+    )
+
+
+def compute_distance_index(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    strategy: str = "adaptive",
+) -> DistanceIndex:
+    """Compute the :class:`DistanceIndex` for a query ``<s, t, k>``.
+
+    ``strategy`` must be one of :data:`DISTANCE_STRATEGIES`.
+    """
+    graph.check_vertex(source)
+    graph.check_vertex(target)
+    if k < 1:
+        raise QueryError(f"hop constraint k must be >= 1, got {k}")
+    if source == target:
+        raise QueryError("source and target must be distinct vertices")
+    if strategy not in DISTANCE_STRATEGIES:
+        raise QueryError(
+            f"unknown distance strategy {strategy!r}; expected one of {DISTANCE_STRATEGIES}"
+        )
+    if strategy == "single":
+        return _single_directional(graph, source, target, k)
+    return _two_phase(graph, source, target, k, adaptive=(strategy == "adaptive"))

@@ -1,0 +1,213 @@
+"""The EVE query driver (Essential Vertices based Examination).
+
+This module ties the three phases of the paper's algorithm together:
+
+1. shortest-distance computation (:mod:`repro.core.distances`),
+2. essential-vertex propagation (:mod:`repro.core.essential`) and edge
+   labelling into the upper-bound graph (:mod:`repro.core.labeling`),
+3. verification of undetermined edges (:mod:`repro.core.verification`).
+
+Usage::
+
+    from repro import DiGraph, build_spg
+
+    graph = DiGraph.from_edge_list([(0, 1), (1, 2), (0, 2)])
+    result = build_spg(graph, source=0, target=2, k=2)
+    result.edges           # {(0, 1), (1, 2), (0, 2)}
+
+The :class:`EVEConfig` switches correspond to the ablation of Figure 11:
+``distance_strategy`` (single / bidirectional / adaptive search),
+``forward_looking`` pruning, and the ``search_ordering`` strategy; turning
+them all off yields the paper's "Naive EVE".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro._types import Vertex
+from repro.core.distances import DISTANCE_STRATEGIES, compute_distance_index
+from repro.core.essential import propagate_backward, propagate_forward
+from repro.core.labeling import compute_upper_bound
+from repro.core.result import PhaseStats, SimplePathGraphResult
+from repro.core.space import SpaceMeter
+from repro.core.verification import order_adjacency, verify_undetermined_edges
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["EVEConfig", "EVE", "build_spg", "build_upper_bound"]
+
+
+@dataclass(frozen=True)
+class EVEConfig:
+    """Tuning switches for EVE (all enabled by default).
+
+    Attributes
+    ----------
+    distance_strategy:
+        One of ``"single"``, ``"bidirectional"``, ``"adaptive"``
+        (Section 3.3 / Figure 6(a)).
+    forward_looking:
+        Enable the forward-looking pruning of Theorem 3.6.
+    search_ordering:
+        Enable the neighbour-ordering strategies of Section 5.3.
+    verify:
+        When ``False`` the verification phase is skipped and the result's
+        ``edges`` equal the upper bound (exact only for ``k <= 4``).
+    """
+
+    distance_strategy: str = "adaptive"
+    forward_looking: bool = True
+    search_ordering: bool = True
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.distance_strategy not in DISTANCE_STRATEGIES:
+            raise QueryError(
+                f"unknown distance strategy {self.distance_strategy!r}; "
+                f"expected one of {DISTANCE_STRATEGIES}"
+            )
+
+    @classmethod
+    def naive(cls) -> "EVEConfig":
+        """The paper's "Naive EVE": all pruning/ordering techniques disabled."""
+        return cls(
+            distance_strategy="single",
+            forward_looking=False,
+            search_ordering=False,
+            verify=True,
+        )
+
+    def with_overrides(self, **changes: object) -> "EVEConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class EVE:
+    """EVE query engine bound to one graph.
+
+    The engine is stateless between queries (the paper's algorithm is fully
+    online, no preprocessing), so one instance can serve many queries and is
+    safe to reuse across threads that do not share a query.
+    """
+
+    def __init__(self, graph: DiGraph, config: Optional[EVEConfig] = None) -> None:
+        self.graph = graph
+        self.config = config or EVEConfig()
+
+    # ------------------------------------------------------------------
+    def query(self, source: Vertex, target: Vertex, k: int) -> SimplePathGraphResult:
+        """Return ``SPG_k(source, target)`` (exact unless ``verify=False``)."""
+        self._validate(source, target, k)
+        config = self.config
+        space = SpaceMeter()
+        phases = PhaseStats()
+
+        started = time.perf_counter()
+        distances = compute_distance_index(
+            self.graph, source, target, k, strategy=config.distance_strategy
+        )
+        space.allocate(distances.size(), category="distances")
+        phases.distance_seconds = time.perf_counter() - started
+
+        # Fast exit: t not reachable from s within k hops -> empty answer.
+        if distances.shortest_st_distance() > k:
+            return SimplePathGraphResult(
+                source=source,
+                target=target,
+                k=k,
+                edges=set(),
+                upper_bound_edges=set(),
+                labels={},
+                phases=phases,
+                space=space,
+                exact=True,
+                algorithm="EVE",
+            )
+
+        started = time.perf_counter()
+        forward = propagate_forward(
+            self.graph, source, target, k,
+            distances=distances, prune=config.forward_looking, space=space,
+        )
+        backward = propagate_backward(
+            self.graph, source, target, k,
+            distances=distances, prune=config.forward_looking, space=space,
+        )
+        phases.propagation_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        upper = compute_upper_bound(
+            self.graph, source, target, k, distances, forward, backward, space=space
+        )
+        phases.upper_bound_seconds = time.perf_counter() - started
+
+        if config.verify:
+            if config.search_ordering and k >= 6:
+                # For k = 5 the DFS never expands (Section 5.3), so ordering
+                # would be pure overhead.
+                started = time.perf_counter()
+                order_adjacency(upper)
+                phases.ordering_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            edges = verify_undetermined_edges(upper, space=space)
+            phases.verification_seconds = time.perf_counter() - started
+            exact = True
+        else:
+            edges = upper.edges
+            exact = k <= 4
+
+        return SimplePathGraphResult(
+            source=source,
+            target=target,
+            k=k,
+            edges=edges,
+            upper_bound_edges=upper.edges,
+            labels=upper.labels,
+            phases=phases,
+            space=space,
+            exact=exact,
+            algorithm="EVE",
+        )
+
+    # ------------------------------------------------------------------
+    def upper_bound(self, source: Vertex, target: Vertex, k: int) -> SimplePathGraphResult:
+        """Return only the upper-bound graph ``SPGu_k`` (no verification)."""
+        engine = EVE(self.graph, self.config.with_overrides(verify=False))
+        result = engine.query(source, target, k)
+        result.algorithm = "EVE-upper-bound"
+        return result
+
+    def _validate(self, source: Vertex, target: Vertex, k: int) -> None:
+        self.graph.check_vertex(source)
+        self.graph.check_vertex(target)
+        if source == target:
+            raise QueryError(
+                "simple path graph queries require distinct source and target"
+            )
+        if k < 1:
+            raise QueryError(f"hop constraint k must be >= 1, got {k}")
+
+
+def build_spg(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    config: Optional[EVEConfig] = None,
+) -> SimplePathGraphResult:
+    """One-shot convenience wrapper: ``EVE(graph, config).query(s, t, k)``."""
+    return EVE(graph, config).query(source, target, k)
+
+
+def build_upper_bound(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    config: Optional[EVEConfig] = None,
+) -> SimplePathGraphResult:
+    """One-shot convenience wrapper returning only the upper-bound graph."""
+    return EVE(graph, config).upper_bound(source, target, k)

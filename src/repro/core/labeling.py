@@ -1,0 +1,212 @@
+"""Edge labelling and the upper-bound graph (Section 4 of the paper).
+
+Every edge in the candidate space (``dist(s, u) + 1 + dist(v, t) <= k``) is
+assigned one of three labels by Algorithm 2:
+
+* ``FAILING`` — Theorem 3.4 proves no k-hop-constrained s-t simple path can
+  use the edge;
+* ``DEFINITE`` — Lemmas 4.4/4.6 prove the edge is in ``SPG_k(s, t)``
+  (edges within two hops of ``s`` or ``t`` in the upper-bound graph);
+* ``UNDETERMINED`` — the essential-vertex test is inconclusive; the edge
+  belongs to the upper-bound graph and is handed to the verification phase.
+
+This module also collects the *departure* and *arrival* vertex sets together
+with their valid in-/out-neighbours (Definitions 5.1-5.4), truncated to
+``k - 2`` entries per vertex as justified by Theorem 5.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro._types import Edge, Vertex
+from repro.core.distances import DistanceIndex
+from repro.core.essential import EssentialVertexIndex
+from repro.core.result import EdgeLabel
+from repro.core.space import SpaceMeter
+from repro.graph.digraph import DiGraph
+
+__all__ = ["UpperBoundGraph", "label_edge", "compute_upper_bound", "collect_boundaries"]
+
+
+@dataclass
+class UpperBoundGraph:
+    """The upper-bound graph ``SPGu_k(s, t)`` plus bookkeeping for phase 3.
+
+    Attributes
+    ----------
+    labels:
+        Label of every candidate-space edge.
+    definite_edges / undetermined_edges:
+        Partition of the upper-bound edge set.
+    out_adjacency / in_adjacency:
+        Adjacency of the upper-bound graph (only its vertices appear).
+    departures / arrivals:
+        ``{vertex: [valid neighbours]}`` maps per Definitions 5.1-5.4,
+        truncated to ``k - 2`` entries (Theorem 5.8).
+    """
+
+    source: Vertex
+    target: Vertex
+    k: int
+    labels: Dict[Edge, EdgeLabel] = field(default_factory=dict)
+    definite_edges: Set[Edge] = field(default_factory=set)
+    undetermined_edges: Set[Edge] = field(default_factory=set)
+    out_adjacency: Dict[Vertex, List[Vertex]] = field(default_factory=dict)
+    in_adjacency: Dict[Vertex, List[Vertex]] = field(default_factory=dict)
+    departures: Dict[Vertex, List[Vertex]] = field(default_factory=dict)
+    arrivals: Dict[Vertex, List[Vertex]] = field(default_factory=dict)
+
+    @property
+    def edges(self) -> Set[Edge]:
+        """All edges of the upper-bound graph."""
+        return self.definite_edges | self.undetermined_edges
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges of the upper-bound graph."""
+        return len(self.definite_edges) + len(self.undetermined_edges)
+
+    def vertices(self) -> Set[Vertex]:
+        """Vertices incident to at least one upper-bound edge."""
+        found: Set[Vertex] = set()
+        for u, v in self.definite_edges:
+            found.add(u)
+            found.add(v)
+        for u, v in self.undetermined_edges:
+            found.add(u)
+            found.add(v)
+        return found
+
+
+def label_edge(
+    u: Vertex,
+    v: Vertex,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    forward: EssentialVertexIndex,
+    backward: EssentialVertexIndex,
+) -> EdgeLabel:
+    """Label a single edge ``e(u, v)`` (Algorithm 2).
+
+    ``forward`` holds ``EV*_l(s, ·)`` and ``backward`` holds ``EV*_l(·, t)``.
+    """
+    # Lines 1-2: first-hop edges from s / last-hop edges into t (Lemma 4.4).
+    if u == source and backward.exists(v, k - 1):
+        return EdgeLabel.DEFINITE
+    if v == target and forward.exists(u, k - 1):
+        return EdgeLabel.DEFINITE
+
+    # Lines 3-4: second-hop edges (Lemma 4.6) — definite when the one-hop
+    # prefix/suffix exists and the far endpoint avoids the near one.
+    ev_su_1 = forward.get(u, 1)
+    ev_vt_k2 = backward.get(v, k - 2)
+    if ev_su_1 is not None and ev_vt_k2 is not None and u not in ev_vt_k2:
+        return EdgeLabel.DEFINITE
+    ev_vt_1 = backward.get(v, 1)
+    ev_su_k2 = forward.get(u, k - 2)
+    if ev_vt_1 is not None and ev_su_k2 is not None and v not in ev_su_k2:
+        return EdgeLabel.DEFINITE
+
+    # Lines 5-8: iterate k_f, pairing with k_b = k - k_f - 1 (Theorem 4.3
+    # shows smaller k_b need not be checked separately).
+    for k_forward in range(2, k - 2):
+        k_backward = k - k_forward - 1
+        ev_forward = forward.get(u, k_forward)
+        if ev_forward is None:
+            continue
+        ev_backward = backward.get(v, k_backward)
+        if ev_backward is None:
+            continue
+        if not (ev_forward & ev_backward):
+            return EdgeLabel.UNDETERMINED
+    return EdgeLabel.FAILING
+
+
+def compute_upper_bound(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    distances: DistanceIndex,
+    forward: EssentialVertexIndex,
+    backward: EssentialVertexIndex,
+    space: SpaceMeter | None = None,
+) -> UpperBoundGraph:
+    """Run Algorithm 2 over the candidate space and build ``SPGu_k(s, t)``.
+
+    Only edges whose endpoints satisfy ``dist(s, u) + 1 + dist(v, t) <= k``
+    are examined; edges outside that space cannot lie on any k-hop s-t path
+    (Section 4.1) and are implicitly failing.
+    """
+    upper = UpperBoundGraph(source=source, target=target, k=k)
+    from_source = distances.from_source
+    to_target = distances.to_target
+    for u, dist_su in from_source.items():
+        if dist_su + 1 > k:
+            continue
+        for v in graph.out_neighbors(u):
+            dist_vt = to_target.get(v)
+            if dist_vt is None or dist_su + 1 + dist_vt > k:
+                continue
+            label = label_edge(u, v, source, target, k, forward, backward)
+            upper.labels[(u, v)] = label
+            if label is EdgeLabel.FAILING:
+                continue
+            if label is EdgeLabel.DEFINITE:
+                upper.definite_edges.add((u, v))
+            else:
+                upper.undetermined_edges.add((u, v))
+            upper.out_adjacency.setdefault(u, []).append(v)
+            upper.in_adjacency.setdefault(v, []).append(u)
+    if space is not None:
+        space.allocate(len(upper.labels), category="edge-labels")
+        space.allocate(upper.num_edges, category="upper-bound-graph")
+    collect_boundaries(upper, space=space)
+    return upper
+
+
+def collect_boundaries(upper: UpperBoundGraph, space: SpaceMeter | None = None) -> None:
+    """Populate departures/arrivals and their valid neighbours.
+
+    A vertex ``v`` is a *departure* when some in-neighbour ``x`` (distinct
+    from ``s``, ``t`` and ``v``) has both ``e(s, x)`` and ``e(x, v)`` in the
+    upper-bound graph; the valid in-neighbours ``In_D(v)`` are all such ``x``
+    (Definitions 5.1-5.2).  Arrivals are symmetric (Definitions 5.3-5.4).
+    Per Theorem 5.8, at most ``k - 2`` neighbours are retained per vertex.
+    """
+    source, target, k = upper.source, upper.target, upper.k
+    limit = max(1, k - 2)
+    out_of_source = set(upper.out_adjacency.get(source, ()))
+    into_target = set(upper.in_adjacency.get(target, ()))
+
+    departures: Dict[Vertex, List[Vertex]] = {}
+    for x in out_of_source:
+        if x == target or x == source:
+            continue
+        for v in upper.out_adjacency.get(x, ()):
+            if v == source or v == target or v == x:
+                continue
+            valid = departures.setdefault(v, [])
+            if len(valid) < limit and x not in valid:
+                valid.append(x)
+    arrivals: Dict[Vertex, List[Vertex]] = {}
+    for y in into_target:
+        if y == source or y == target:
+            continue
+        for v in upper.in_adjacency.get(y, ()):
+            if v == source or v == target or v == y:
+                continue
+            valid = arrivals.setdefault(v, [])
+            if len(valid) < limit and y not in valid:
+                valid.append(y)
+    upper.departures = departures
+    upper.arrivals = arrivals
+    if space is not None:
+        space.allocate(
+            sum(len(vs) for vs in departures.values())
+            + sum(len(vs) for vs in arrivals.values()),
+            category="boundaries",
+        )

@@ -1,0 +1,162 @@
+"""Result objects returned by EVE and the baseline SPG generators.
+
+A :class:`SimplePathGraphResult` bundles the answer graph (edge set plus a
+:class:`~repro.graph.digraph.DiGraph` view), the upper-bound graph, the edge
+labels assigned by Algorithm 2, per-phase wall-clock times, and the space
+meter, so the experiment harness can regenerate every figure from a single
+query result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro._types import Edge, Vertex
+from repro.core.space import SpaceMeter
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import edge_induced_subgraph
+
+__all__ = ["EdgeLabel", "PhaseStats", "SimplePathGraphResult"]
+
+
+class EdgeLabel(enum.IntEnum):
+    """Edge labels assigned by Algorithm 2 (Section 4).
+
+    * ``FAILING`` (0): definitely not in ``SPG_k(s, t)``.
+    * ``UNDETERMINED`` (1): in the upper-bound graph, needs verification.
+    * ``DEFINITE`` (2): definitely in ``SPG_k(s, t)``.
+    """
+
+    FAILING = 0
+    UNDETERMINED = 1
+    DEFINITE = 2
+
+
+@dataclass
+class PhaseStats:
+    """Wall-clock seconds spent in each EVE phase (Figure 10(c))."""
+
+    distance_seconds: float = 0.0
+    propagation_seconds: float = 0.0
+    upper_bound_seconds: float = 0.0
+    verification_seconds: float = 0.0
+    ordering_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total time across all phases."""
+        return (
+            self.distance_seconds
+            + self.propagation_seconds
+            + self.upper_bound_seconds
+            + self.verification_seconds
+            + self.ordering_seconds
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the phase breakdown as a dictionary (for reports)."""
+        return {
+            "distance": self.distance_seconds,
+            "propagation": self.propagation_seconds,
+            "upper_bound": self.upper_bound_seconds,
+            "ordering": self.ordering_seconds,
+            "verification": self.verification_seconds,
+            "total": self.total_seconds,
+        }
+
+
+@dataclass
+class SimplePathGraphResult:
+    """The answer to one ``<s, t, k>`` query.
+
+    Attributes
+    ----------
+    source, target, k:
+        The query.
+    edges:
+        Edge set of the exact simple path graph ``SPG_k(s, t)``.
+    upper_bound_edges:
+        Edge set of the upper-bound graph ``SPGu_k(s, t)``.
+    labels:
+        Per-edge labels over the candidate space examined by Algorithm 2.
+    phases:
+        Per-phase timing breakdown.
+    space:
+        Logical space meter (peak retained items).
+    exact:
+        ``True`` when ``edges`` is the exact answer (always true for EVE;
+        ``False`` if only the upper bound was requested and ``k > 4``).
+    """
+
+    source: Vertex
+    target: Vertex
+    k: int
+    edges: Set[Edge]
+    upper_bound_edges: Set[Edge]
+    labels: Dict[Edge, EdgeLabel] = field(default_factory=dict)
+    phases: PhaseStats = field(default_factory=PhaseStats)
+    space: SpaceMeter = field(default_factory=SpaceMeter)
+    exact: bool = True
+    algorithm: str = "EVE"
+
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> FrozenSet[Vertex]:
+        """Vertices incident to at least one answer edge (plus s, t if present)."""
+        found: Set[Vertex] = set()
+        for u, v in self.edges:
+            found.add(u)
+            found.add(v)
+        return frozenset(found)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the simple path graph."""
+        return len(self.edges)
+
+    @property
+    def num_upper_bound_edges(self) -> int:
+        """Number of edges in the upper-bound graph."""
+        return len(self.upper_bound_edges)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no k-hop-constrained s-t simple path exists."""
+        return not self.edges
+
+    # ------------------------------------------------------------------
+    def redundant_ratio(self) -> float:
+        """Redundant ratio ``r_D`` of the upper-bound graph (Section 6.6).
+
+        Defined as ``(|E(SPGu_k)| - |E(SPG_k)|) / |E(SPG_k)|``; returns 0.0
+        when the answer is empty (the paper only issues reachable queries).
+        """
+        if not self.edges:
+            return 0.0
+        return (len(self.upper_bound_edges) - len(self.edges)) / len(self.edges)
+
+    def coverage_ratio(self, graph: DiGraph) -> float:
+        """Coverage ratio ``r_C = |E(SPG_k)| / |E|`` (Section 6.6)."""
+        if graph.num_edges == 0:
+            return 0.0
+        return len(self.edges) / graph.num_edges
+
+    def to_graph(self, graph: DiGraph, name: Optional[str] = None) -> DiGraph:
+        """Materialise the answer as an edge-induced subgraph of ``graph``."""
+        graph_name = name or f"SPG_{self.k}({self.source},{self.target})"
+        return edge_induced_subgraph(graph, self.edges, name=graph_name)
+
+    def upper_bound_graph(self, graph: DiGraph, name: Optional[str] = None) -> DiGraph:
+        """Materialise the upper-bound graph as a subgraph of ``graph``."""
+        graph_name = name or f"SPGu_{self.k}({self.source},{self.target})"
+        return edge_induced_subgraph(graph, self.upper_bound_edges, name=graph_name)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimplePathGraphResult(algorithm={self.algorithm!r}, "
+            f"s={self.source}, t={self.target}, k={self.k}, "
+            f"edges={len(self.edges)}, upper_bound={len(self.upper_bound_edges)}, "
+            f"exact={self.exact})"
+        )

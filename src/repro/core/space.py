@@ -1,0 +1,78 @@
+"""Logical space accounting shared by EVE and the baselines.
+
+The paper reports peak resident memory per query (Figures 9 and 10(a)).
+A pure-Python reproduction cannot compare RSS meaningfully (the interpreter
+dwarfs algorithm state), so every algorithm in this library reports its
+*retained item count* through a :class:`SpaceMeter`: the number of vertex
+ids held in essential-vertex sets, partial paths, stacks, frontiers and
+candidate structures at any point in time.  The meter records the peak.
+
+This preserves the comparisons the paper makes:
+
+* JOIN stores many partial paths -> large peak;
+* PathEnum stores fewer partial paths thanks to its index -> smaller peak;
+* EVE stores ``O(k^2 |V|)`` essential-vertex entries -> usually smallest,
+  and its peak grows only mildly with ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SpaceMeter"]
+
+
+class SpaceMeter:
+    """Tracks the current and peak number of retained items.
+
+    The meter is intentionally tiny: algorithms call :meth:`allocate` /
+    :meth:`release` around the data structures they retain, optionally
+    tagging allocations by category so reports can break the peak down.
+    """
+
+    def __init__(self) -> None:
+        self._current = 0
+        self._peak = 0
+        self._by_category: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def allocate(self, amount: int, category: str = "general") -> None:
+        """Record ``amount`` newly retained items."""
+        if amount <= 0:
+            return
+        self._current += amount
+        self._by_category[category] = self._by_category.get(category, 0) + amount
+        if self._current > self._peak:
+            self._peak = self._current
+
+    def release(self, amount: int, category: str = "general") -> None:
+        """Record ``amount`` items that are no longer retained."""
+        if amount <= 0:
+            return
+        self._current = max(0, self._current - amount)
+        if category in self._by_category:
+            self._by_category[category] = max(0, self._by_category[category] - amount)
+
+    def reset(self) -> None:
+        """Forget everything (used between queries)."""
+        self._current = 0
+        self._peak = 0
+        self._by_category.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> int:
+        """Number of items currently retained."""
+        return self._current
+
+    @property
+    def peak(self) -> int:
+        """Largest number of items retained at any point."""
+        return self._peak
+
+    def breakdown(self) -> Dict[str, int]:
+        """Return the current per-category retained counts."""
+        return dict(self._by_category)
+
+    def __repr__(self) -> str:
+        return f"SpaceMeter(current={self._current}, peak={self._peak})"

@@ -1,0 +1,180 @@
+"""Verification of undetermined edges (Section 5 of the paper).
+
+For hop constraints ``k >= 5`` the upper-bound graph may contain edges whose
+membership in ``SPG_k(s, t)`` is still unknown.  Theorem 5.6 reduces the
+check for an undetermined edge ``e(u, v)`` to finding a simple path ``q*``
+of length at most ``k - 4`` that
+
+* passes through ``e(u, v)``,
+* starts at a *departure* vertex and ends at an *arrival* vertex, and
+* can be extended by a valid in-neighbour of the departure and a valid
+  out-neighbour of the arrival (plus ``s`` and ``t``) without repeating a
+  vertex.
+
+Algorithm 3 searches for ``q*`` with an interleaved forward/backward DFS
+restricted to the upper-bound graph.  Every edge on a successful stack is a
+confirmed member of ``SPG_k``, so one successful search can settle several
+undetermined edges at once.
+
+The search-ordering strategies of Section 5.3 are implemented in
+:func:`order_adjacency`: out-neighbours are visited in ascending distance to
+the closest arrival (arrivals first, larger ``|Out_A|`` first) and
+in-neighbours in ascending distance from the closest departure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro._types import Edge, Vertex
+from repro.core.labeling import UpperBoundGraph
+from repro.core.space import SpaceMeter
+
+__all__ = ["verify_undetermined_edges", "order_adjacency", "multi_source_bfs"]
+
+
+def multi_source_bfs(
+    adjacency: Dict[Vertex, List[Vertex]], sources: Iterable[Vertex]
+) -> Dict[Vertex, int]:
+    """BFS distance from the nearest of ``sources`` over ``adjacency``.
+
+    Equivalent to the paper's "virtual vertex r connected to all departures"
+    trick: one BFS gives every vertex its distance from the closest source.
+    """
+    distances: Dict[Vertex, int] = {}
+    queue: deque = deque()
+    for source in sources:
+        if source not in distances:
+            distances[source] = 0
+            queue.append(source)
+    while queue:
+        vertex = queue.popleft()
+        depth = distances[vertex] + 1
+        for neighbor in adjacency.get(vertex, ()):
+            if neighbor not in distances:
+                distances[neighbor] = depth
+                queue.append(neighbor)
+    return distances
+
+
+def order_adjacency(upper: UpperBoundGraph) -> None:
+    """Re-order the upper-bound adjacency lists per Section 5.3 (in place).
+
+    Out-neighbours are sorted by ascending distance to the closest arrival;
+    among arrivals themselves (distance 0) larger ``|Out_A|`` comes first.
+    In-neighbours are sorted by ascending distance from the closest
+    departure; among departures larger ``|In_D|`` comes first.
+    """
+    infinity = float("inf")
+    # Distance *to* the closest arrival along forward edges equals a BFS from
+    # all arrivals over reversed (in-)adjacency.
+    to_arrival = multi_source_bfs(upper.in_adjacency, upper.arrivals.keys())
+    from_departure = multi_source_bfs(upper.out_adjacency, upper.departures.keys())
+
+    def out_key(vertex: Vertex) -> Tuple[float, int]:
+        distance = to_arrival.get(vertex, infinity)
+        tie_break = -len(upper.arrivals.get(vertex, ())) if distance == 0 else 0
+        return (distance, tie_break)
+
+    def in_key(vertex: Vertex) -> Tuple[float, int]:
+        distance = from_departure.get(vertex, infinity)
+        tie_break = -len(upper.departures.get(vertex, ())) if distance == 0 else 0
+        return (distance, tie_break)
+
+    for vertex, neighbors in upper.out_adjacency.items():
+        neighbors.sort(key=out_key)
+    for vertex, neighbors in upper.in_adjacency.items():
+        neighbors.sort(key=in_key)
+
+
+def verify_undetermined_edges(
+    upper: UpperBoundGraph,
+    space: Optional[SpaceMeter] = None,
+) -> Set[Edge]:
+    """Run Algorithm 3 and return the exact edge set of ``SPG_k(s, t)``.
+
+    The result always contains every definite edge; each undetermined edge
+    is added exactly when a valid path per Theorem 5.6 exists.
+    """
+    source, target, k = upper.source, upper.target, upper.k
+    confirmed: Set[Edge] = set(upper.definite_edges)
+    if k < 5 or not upper.undetermined_edges:
+        return confirmed
+
+    departures = upper.departures
+    arrivals = upper.arrivals
+    out_adjacency = upper.out_adjacency
+    in_adjacency = upper.in_adjacency
+    max_internal_hops = k - 4
+
+    stack_vertices: Set[Vertex] = set()
+    stack_edges: List[Edge] = []
+
+    def try_add_edges(departure: Vertex, arrival: Vertex) -> bool:
+        """Check requirement (2) of Theorem 5.6 and commit the stack."""
+        valid_in = [x for x in departures.get(departure, ()) if x not in stack_vertices]
+        valid_out = [y for y in arrivals.get(arrival, ()) if y not in stack_vertices]
+        if not valid_in or not valid_out:
+            return False
+        for x in valid_in:
+            for y in valid_out:
+                if x != y:
+                    confirmed.update(stack_edges)
+                    return True
+        return False
+
+    def backward(current: Vertex, hops: int, arrival: Vertex) -> bool:
+        """Extend the path backwards from ``current`` towards a departure."""
+        if current in departures and try_add_edges(current, arrival):
+            return True
+        if hops < max_internal_hops:
+            for previous in in_adjacency.get(current, ()):
+                if previous in stack_vertices:
+                    continue
+                stack_vertices.add(previous)
+                stack_edges.append((previous, current))
+                if space is not None:
+                    space.allocate(1, category="verification-stack")
+                found = backward(previous, hops + 1, arrival)
+                if space is not None:
+                    space.release(1, category="verification-stack")
+                if found:
+                    return True
+                stack_vertices.discard(previous)
+                stack_edges.pop()
+        return False
+
+    def forward(current: Vertex, hops: int, back_anchor: Vertex) -> bool:
+        """Extend the path forwards from ``current`` towards an arrival."""
+        if current in arrivals and backward(back_anchor, hops, current):
+            return True
+        if hops < max_internal_hops:
+            for nxt in out_adjacency.get(current, ()):
+                if nxt in stack_vertices:
+                    continue
+                stack_vertices.add(nxt)
+                stack_edges.append((current, nxt))
+                if space is not None:
+                    space.allocate(1, category="verification-stack")
+                found = forward(nxt, hops + 1, back_anchor)
+                if space is not None:
+                    space.release(1, category="verification-stack")
+                if found:
+                    return True
+                stack_vertices.discard(nxt)
+                stack_edges.pop()
+        return False
+
+    for edge in sorted(upper.undetermined_edges):
+        if edge in confirmed:
+            continue
+        u, v = edge
+        stack_vertices = {u, v, source, target}
+        stack_edges = [edge]
+        if space is not None:
+            space.allocate(5, category="verification-stack")
+        forward(v, 1, u)
+        if space is not None:
+            space.release(5, category="verification-stack")
+    return confirmed

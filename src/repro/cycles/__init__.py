@@ -1,0 +1,36 @@
+"""Hop-constrained simple cycle analysis built on simple path graphs.
+
+The paper's fraud-detection application (Sections 1.1 and 6.9) is really a
+*cycle* problem: for a flagged transaction ``e(t, s)``, find every vertex
+and edge participating in a simple cycle of length at most ``k + 1``
+through that edge.  Because any such cycle is the flagged edge plus a
+``k``-hop-constrained s-t simple path, the cycle graph is exactly
+``SPG_k(s, t)`` plus the flagged edge.
+
+This package turns that observation into a small API:
+
+* :func:`~repro.cycles.cycle_graph.constrained_cycle_graph` — the cycle
+  graph through one edge;
+* :func:`~repro.cycles.cycle_graph.constrained_cycles` — enumerate the
+  cycles themselves (delegating to any path enumerator restricted to the
+  cycle graph);
+* :class:`~repro.cycles.screening.FraudScreener` — batch screening of a
+  temporal transaction network: every recent transaction is tested for
+  participation in short cycles inside a sliding time window.
+"""
+
+from repro.cycles.cycle_graph import (
+    CycleGraphResult,
+    constrained_cycle_graph,
+    constrained_cycles,
+)
+from repro.cycles.screening import FraudScreener, ScreeningReport, SuspiciousEdge
+
+__all__ = [
+    "CycleGraphResult",
+    "constrained_cycle_graph",
+    "constrained_cycles",
+    "FraudScreener",
+    "ScreeningReport",
+    "SuspiciousEdge",
+]

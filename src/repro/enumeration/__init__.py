@@ -1,0 +1,42 @@
+"""Hop-constrained s-t simple path enumeration baselines.
+
+The paper compares EVE against generating ``SPG_k(s, t)`` by enumerating all
+k-hop-constrained s-t simple paths with state-of-the-art enumerators and
+unioning their edges.  This package re-implements those enumerators:
+
+* :class:`~repro.enumeration.naive_dfs.NaiveDFS` — depth-bounded DFS with no
+  pruning (the textbook straw man).
+* :class:`~repro.enumeration.tdfs.TDFS` — Rizzi et al.'s polynomial-delay DFS
+  that re-checks reachability of ``t`` under the current stack.
+* :class:`~repro.enumeration.bcdfs.BCDFS` — barrier-pruned DFS in the style
+  of Peng et al. (VLDB 2019), with blocker-dependency unblocking.
+* :class:`~repro.enumeration.join.JoinEnumerator` — JOIN: enumerate forward
+  and backward partial paths and concatenate them at a middle cut.
+* :class:`~repro.enumeration.pathenum.PathEnum` — PathEnum (SIGMOD 2021):
+  a light-weight distance index plus a cost-based choice between index-DFS
+  and index-JOIN.
+
+All enumerators share the :class:`~repro.enumeration.base.PathEnumerator`
+interface and can run on any :class:`~repro.graph.digraph.DiGraph`,
+including subgraphs such as ``SPG_k`` or ``G^k_st`` (used for the Table 4
+and Table 5 speedup experiments).
+"""
+
+from repro.enumeration.base import EnumerationResult, PathEnumerator
+from repro.enumeration.bcdfs import BCDFS
+from repro.enumeration.join import JoinEnumerator
+from repro.enumeration.naive_dfs import NaiveDFS
+from repro.enumeration.pathenum import PathEnum
+from repro.enumeration.spg_via_enumeration import EnumerationSPGBuilder
+from repro.enumeration.tdfs import TDFS
+
+__all__ = [
+    "PathEnumerator",
+    "EnumerationResult",
+    "NaiveDFS",
+    "TDFS",
+    "BCDFS",
+    "JoinEnumerator",
+    "PathEnum",
+    "EnumerationSPGBuilder",
+]

@@ -1,0 +1,151 @@
+"""Common interface for hop-constrained s-t simple path enumerators."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro._types import Edge, Vertex
+from repro.core.space import SpaceMeter
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["Path", "EnumerationResult", "PathEnumerator"]
+
+Path = Tuple[Vertex, ...]
+
+
+@dataclass
+class EnumerationResult:
+    """All k-hop-constrained s-t simple paths found for one query.
+
+    ``paths`` stores every path as a tuple of vertices (``s`` first, ``t``
+    last).  ``space`` reports the peak number of retained items inside the
+    enumerator (partial paths, stacks, index entries), which is the quantity
+    Figures 9/10(a) compare across algorithms.  ``truncated`` is set when a
+    time budget stopped the enumeration early (the paper's ``INF`` cut-off).
+    """
+
+    source: Vertex
+    target: Vertex
+    k: int
+    paths: List[Path] = field(default_factory=list)
+    space: SpaceMeter = field(default_factory=SpaceMeter)
+    seconds: float = 0.0
+    algorithm: str = "enumerator"
+    truncated: bool = False
+
+    @property
+    def count(self) -> int:
+        """Number of simple paths found."""
+        return len(self.paths)
+
+    def edges(self) -> Set[Edge]:
+        """Union of the edges of all paths (the enumeration-based SPG)."""
+        found: Set[Edge] = set()
+        for path in self.paths:
+            for i in range(len(path) - 1):
+                found.add((path[i], path[i + 1]))
+        return found
+
+    def vertices(self) -> Set[Vertex]:
+        """Union of the vertices of all paths."""
+        found: Set[Vertex] = set()
+        for path in self.paths:
+            found.update(path)
+        return found
+
+    def lengths_histogram(self) -> dict:
+        """Return ``{length: number of paths}``."""
+        histogram: dict = {}
+        for path in self.paths:
+            length = len(path) - 1
+            histogram[length] = histogram.get(length, 0) + 1
+        return histogram
+
+
+class PathEnumerator(abc.ABC):
+    """Base class for hop-constrained s-t simple path enumerators.
+
+    Subclasses implement :meth:`iter_paths`; :meth:`enumerate` wraps it with
+    validation, timing and result packaging.
+    """
+
+    name = "enumerator"
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+        self.space = SpaceMeter()
+
+    # ------------------------------------------------------------------
+    def enumerate(
+        self,
+        source: Vertex,
+        target: Vertex,
+        k: int,
+        time_budget: Optional[float] = None,
+    ) -> EnumerationResult:
+        """Enumerate all simple paths from ``source`` to ``target`` within ``k`` hops.
+
+        ``time_budget`` (seconds) cooperatively stops the enumeration once
+        exceeded; the result is then marked ``truncated`` — mirroring the
+        paper's practice of reporting ``INF`` for runs over the time limit.
+        """
+        self.validate(source, target, k)
+        self.space = SpaceMeter()
+        started = time.perf_counter()
+        paths: List[Path] = []
+        truncated = False
+        for path in self.iter_paths(source, target, k):
+            paths.append(path)
+            if time_budget is not None and time.perf_counter() - started > time_budget:
+                truncated = True
+                break
+        elapsed = time.perf_counter() - started
+        return EnumerationResult(
+            source=source,
+            target=target,
+            k=k,
+            paths=paths,
+            space=self.space,
+            seconds=elapsed,
+            algorithm=self.name,
+            truncated=truncated,
+        )
+
+    def count_paths(
+        self,
+        source: Vertex,
+        target: Vertex,
+        k: int,
+        time_budget: Optional[float] = None,
+    ) -> int:
+        """Count paths without retaining them (used by Figure 2(b))."""
+        self.validate(source, target, k)
+        self.space = SpaceMeter()
+        started = time.perf_counter()
+        total = 0
+        for _ in self.iter_paths(source, target, k):
+            total += 1
+            if time_budget is not None and time.perf_counter() - started > time_budget:
+                break
+        return total
+
+    @abc.abstractmethod
+    def iter_paths(self, source: Vertex, target: Vertex, k: int) -> Iterator[Path]:
+        """Yield each k-hop-constrained s-t simple path exactly once."""
+
+    # ------------------------------------------------------------------
+    def validate(self, source: Vertex, target: Vertex, k: int) -> None:
+        """Raise :class:`QueryError` for malformed queries."""
+        self.graph.check_vertex(source)
+        self.graph.check_vertex(target)
+        if source == target:
+            raise QueryError("source and target must be distinct")
+        if k < 1:
+            raise QueryError(f"hop constraint k must be >= 1, got {k}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self.graph.name!r})"

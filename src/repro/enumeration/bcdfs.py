@@ -1,0 +1,106 @@
+"""BC-DFS: barrier-pruned DFS enumeration (Peng et al., VLDB 2019 style).
+
+BC-DFS augments distance-pruned DFS with *barriers*: when the search from a
+vertex ``v`` with ``r`` remaining hops fails to emit any path, it records
+``bar[v] = r`` so later visits with at most ``r`` remaining hops are pruned
+immediately.  Because failures may be caused by vertices currently on the
+stack, each barrier also records the set of stack vertices ("blockers") the
+failed exploration actually touched.  A barrier is only trusted while all of
+its blockers are still on the stack; when a blocker is popped, every barrier
+depending on it is reset (Johnson-style unblocking).  This keeps the pruning
+sound: a barrier with blocker set ``B`` certifies "no simple path from ``v``
+to ``t`` within ``r`` hops avoids ``B``", which remains true for any stack
+containing ``B``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro._types import Vertex
+from repro.core.distances import bounded_bfs
+from repro.enumeration.base import Path, PathEnumerator
+
+__all__ = ["BCDFS"]
+
+
+class BCDFS(PathEnumerator):
+    """Barrier-pruned DFS with blocker-dependency tracking."""
+
+    name = "BC-DFS"
+
+    def iter_paths(self, source: Vertex, target: Vertex, k: int) -> Iterator[Path]:
+        graph = self.graph
+        space = self.space
+
+        # Static pruning index: exact distance to t, bounded by k.
+        dist_to_target = bounded_bfs(graph, target, k, reverse=True)
+        space.allocate(len(dist_to_target), category="distance-index")
+
+        barrier: Dict[Vertex, int] = {}
+        barrier_blockers: Dict[Vertex, Set[Vertex]] = {}
+        blocked_by: Dict[Vertex, Set[Vertex]] = {}
+
+        stack: List[Vertex] = [source]
+        on_stack: Set[Vertex] = {source}
+        space.allocate(1, category="stack")
+
+        def reset_dependents(popped: Vertex) -> None:
+            """Reset every barrier that depended on ``popped`` being on the stack."""
+            dependents = blocked_by.pop(popped, None)
+            if not dependents:
+                return
+            for vertex in dependents:
+                if vertex in barrier:
+                    del barrier[vertex]
+                barrier_blockers.pop(vertex, None)
+
+        def explore(vertex: Vertex, remaining: int) -> Iterator[Tuple[bool, Path]]:
+            """Yield ``(True, path)`` events; the final event's flag reports success."""
+            found = False
+            blockers: Set[Vertex] = set()
+            for neighbor in graph.out_neighbors(vertex):
+                if neighbor == target:
+                    if remaining >= 1:
+                        found = True
+                        yield True, tuple(stack) + (target,)
+                    continue
+                if remaining - 1 < 1:
+                    continue
+                if neighbor in on_stack:
+                    blockers.add(neighbor)
+                    continue
+                distance = dist_to_target.get(neighbor)
+                if distance is None or distance > remaining - 1:
+                    continue
+                if barrier.get(neighbor, 0) >= remaining - 1:
+                    blockers |= barrier_blockers.get(neighbor, set())
+                    continue
+                stack.append(neighbor)
+                on_stack.add(neighbor)
+                space.allocate(1, category="stack")
+                child_found = False
+                for ok, path in explore(neighbor, remaining - 1):
+                    child_found = child_found or ok
+                    if ok:
+                        yield True, path
+                stack.pop()
+                on_stack.discard(neighbor)
+                space.release(1, category="stack")
+                reset_dependents(neighbor)
+                if child_found:
+                    found = True
+                else:
+                    blockers |= barrier_blockers.get(neighbor, set())
+            if not found:
+                barrier[vertex] = max(barrier.get(vertex, 0), remaining)
+                barrier_blockers[vertex] = set(blockers)
+                space.allocate(1, category="barrier")
+                for blocker in blockers:
+                    blocked_by.setdefault(blocker, set()).add(vertex)
+
+        if dist_to_target.get(source) is None and source != target:
+            return
+        for ok, path in explore(source, k):
+            if ok:
+                yield path

@@ -1,0 +1,137 @@
+"""JOIN: enumerate partial paths and concatenate them at a middle cut.
+
+The JOIN algorithm of Peng et al. improves response time by splitting every
+s-t simple path at its middle hop: forward partial paths from ``s`` and
+backward partial paths into ``t`` are enumerated (with distance pruning) and
+joined on their shared middle vertex, checking vertex-disjointness of the
+two halves.  Storing the partial paths makes JOIN the most space-hungry
+baseline (Figure 9), but joining can be faster than a single deep DFS when
+the path count is moderate.
+
+A path of length ``l`` is generated exactly once: from the forward partial
+of length ``ceil(l/2)`` and the backward partial of length ``floor(l/2)``
+meeting at the vertex in position ``ceil(l/2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro._types import Vertex
+from repro.core.distances import bounded_bfs
+from repro.enumeration.base import Path, PathEnumerator
+
+__all__ = ["JoinEnumerator"]
+
+
+class JoinEnumerator(PathEnumerator):
+    """Middle-cut join enumeration of hop-constrained s-t simple paths."""
+
+    name = "JOIN"
+
+    # ------------------------------------------------------------------
+    def _partial_paths(
+        self,
+        start: Vertex,
+        excluded: Vertex,
+        max_hops: int,
+        prune_distances: Dict[Vertex, int],
+        total_budget: int,
+        reverse: bool,
+    ) -> Dict[Tuple[Vertex, int], List[Path]]:
+        """Enumerate simple partial paths from ``start`` grouped by (endpoint, length).
+
+        ``reverse=True`` walks in-edges, which enumerates partial paths *into*
+        ``start`` (used for the backward half).  ``prune_distances`` holds the
+        distance from each vertex to the *other* endpoint and prunes
+        extensions that cannot fit in ``total_budget`` hops overall.
+        """
+        graph = self.graph
+        space = self.space
+        groups: Dict[Tuple[Vertex, int], List[Path]] = {}
+        stack: List[Vertex] = [start]
+        on_stack: Set[Vertex] = {start}
+
+        def record(vertex: Vertex) -> None:
+            length = len(stack) - 1
+            key = (vertex, length)
+            groups.setdefault(key, []).append(tuple(stack))
+            space.allocate(len(stack), category="partial-paths")
+
+        def explore(vertex: Vertex) -> None:
+            depth = len(stack) - 1
+            if depth >= max_hops:
+                return
+            neighbors = (
+                graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
+            )
+            for neighbor in neighbors:
+                if neighbor in on_stack or neighbor == excluded:
+                    continue
+                other_side = prune_distances.get(neighbor)
+                if other_side is None or depth + 1 + other_side > total_budget:
+                    continue
+                stack.append(neighbor)
+                on_stack.add(neighbor)
+                record(neighbor)
+                explore(neighbor)
+                stack.pop()
+                on_stack.discard(neighbor)
+
+        explore(start)
+        return groups
+
+    # ------------------------------------------------------------------
+    def iter_paths(self, source: Vertex, target: Vertex, k: int) -> Iterator[Path]:
+        graph = self.graph
+        space = self.space
+
+        dist_to_target = bounded_bfs(graph, target, k, reverse=True)
+        dist_from_source = bounded_bfs(graph, source, k, reverse=False)
+        space.allocate(len(dist_to_target) + len(dist_from_source), category="distance-index")
+
+        # Length-1 path (the only split whose middle vertex is t itself).
+        if graph.has_edge(source, target):
+            yield (source, target)
+        if k < 2:
+            return
+
+        forward_budget = (k + 1) // 2
+        backward_budget = k // 2
+        forward_groups = self._partial_paths(
+            start=source,
+            excluded=target,
+            max_hops=forward_budget,
+            prune_distances=dist_to_target,
+            total_budget=k,
+            reverse=False,
+        )
+        backward_groups = self._partial_paths(
+            start=target,
+            excluded=source,
+            max_hops=backward_budget,
+            prune_distances=dist_from_source,
+            total_budget=k,
+            reverse=True,
+        )
+
+        for length in range(2, k + 1):
+            forward_hops = (length + 1) // 2
+            backward_hops = length - forward_hops
+            for (middle, hops), prefixes in forward_groups.items():
+                if hops != forward_hops:
+                    continue
+                suffixes = backward_groups.get((middle, backward_hops))
+                if not suffixes:
+                    continue
+                for prefix in prefixes:
+                    prefix_vertices = set(prefix)
+                    for suffix in suffixes:
+                        # suffix is stored from t backwards: (t, ..., middle)
+                        joined = True
+                        for vertex in suffix[:-1]:
+                            if vertex in prefix_vertices:
+                                joined = False
+                                break
+                        if joined:
+                            yield prefix + tuple(reversed(suffix[:-1]))

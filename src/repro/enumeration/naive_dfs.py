@@ -1,0 +1,49 @@
+"""Naive depth-bounded DFS enumeration.
+
+The straightforward solution mentioned in Section 1.2: explore every simple
+path from ``s`` of length at most ``k`` and report those ending at ``t``.
+No pruning beyond the hop budget is applied, so the running time is
+``O(|V|^k)`` in the worst case.  This is the weakest baseline and is used in
+tests as an easily-auditable reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from repro._types import Vertex
+from repro.enumeration.base import Path, PathEnumerator
+
+__all__ = ["NaiveDFS"]
+
+
+class NaiveDFS(PathEnumerator):
+    """Depth-bounded DFS with no pruning."""
+
+    name = "NaiveDFS"
+
+    def iter_paths(self, source: Vertex, target: Vertex, k: int) -> Iterator[Path]:
+        graph = self.graph
+        space = self.space
+        stack: List[Vertex] = [source]
+        on_stack: Set[Vertex] = {source}
+        space.allocate(1, category="stack")
+
+        def explore(vertex: Vertex) -> Iterator[Path]:
+            if vertex == target:
+                yield tuple(stack)
+                return
+            if len(stack) - 1 >= k:
+                return
+            for neighbor in graph.out_neighbors(vertex):
+                if neighbor in on_stack:
+                    continue
+                stack.append(neighbor)
+                on_stack.add(neighbor)
+                space.allocate(1, category="stack")
+                yield from explore(neighbor)
+                stack.pop()
+                on_stack.discard(neighbor)
+                space.release(1, category="stack")
+
+        yield from explore(source)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  Input
+validation problems use the more specific subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation on it is invalid."""
+
+
+class VertexError(GraphError):
+    """Raised when a vertex id is out of range or otherwise invalid."""
+
+
+class EdgeError(GraphError):
+    """Raised when an edge is invalid (e.g. endpoints out of range)."""
+
+
+class QueryError(ReproError):
+    """Raised when a query ``<s, t, k>`` is malformed.
+
+    Examples include ``s == t``, a non-positive hop constraint, or vertex
+    ids that do not exist in the graph.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset cannot be generated or located."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver is configured inconsistently."""
+
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexError",
+    "EdgeError",
+    "QueryError",
+    "DatasetError",
+    "ExperimentError",
+]

@@ -1,0 +1,19 @@
+"""Fixed-parameter tractable machinery (Theorem 2.7).
+
+The paper proves that SPG generation is FPT by reducing the membership test
+of each edge to the Directed k-(s,t)-Path problem on an edge-subdivided
+auxiliary graph and invoking a colour-coding solver.  This package
+implements both pieces — the randomized colour-coding detector
+(:mod:`repro.fpt.color_coding`) and the edge-subdivision reduction — mainly
+as an executable companion to the theorem and as an extra cross-check for
+small graphs in the test suite.
+"""
+
+from repro.fpt.color_coding import (
+    ColorCodingDetector,
+    fpt_edge_in_spg,
+    fpt_spg,
+    subdivide_except,
+)
+
+__all__ = ["ColorCodingDetector", "subdivide_except", "fpt_edge_in_spg", "fpt_spg"]

@@ -1,0 +1,22 @@
+"""Directed-graph substrate used by every algorithm in the library.
+
+The central class is :class:`~repro.graph.digraph.DiGraph`, a compact
+adjacency-list directed graph with dense integer vertex ids.  Helper modules
+provide construction from raw edge lists (:mod:`repro.graph.builder`),
+edge-list I/O (:mod:`repro.graph.io`), synthetic generators
+(:mod:`repro.graph.generators`), structural statistics
+(:mod:`repro.graph.properties`) and edge-induced subgraphs
+(:mod:`repro.graph.subgraph`).
+"""
+
+from repro.graph.builder import GraphBuilder, build_graph
+from repro.graph.digraph import DiGraph
+from repro.graph.subgraph import edge_induced_subgraph, vertex_induced_subgraph
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "build_graph",
+    "edge_induced_subgraph",
+    "vertex_induced_subgraph",
+]

@@ -1,0 +1,117 @@
+"""Incremental construction of :class:`~repro.graph.digraph.DiGraph` objects.
+
+Real-world edge lists use arbitrary vertex labels (strings, sparse ids).
+:class:`GraphBuilder` accepts any hashable labels, relabels them to a dense
+``0 .. n-1`` range, drops self loops and duplicate edges, and finally
+produces an immutable :class:`DiGraph` together with the label mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro._types import Edge
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["GraphBuilder", "build_graph"]
+
+
+class GraphBuilder:
+    """Accumulates edges with arbitrary hashable labels and builds a graph.
+
+    Examples
+    --------
+    >>> b = GraphBuilder()
+    >>> b.add_edge("s", "a")
+    >>> b.add_edge("a", "t")
+    >>> g = b.build(name="toy")
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> b.vertex_id("t")
+    2
+    """
+
+    def __init__(self) -> None:
+        self._labels: Dict[Hashable, int] = {}
+        self._reverse_labels: List[Hashable] = []
+        self._edges: List[Edge] = []
+        self._dropped_self_loops = 0
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Hashable) -> int:
+        """Register ``label`` (if new) and return its dense vertex id."""
+        existing = self._labels.get(label)
+        if existing is not None:
+            return existing
+        vertex_id = len(self._reverse_labels)
+        self._labels[label] = vertex_id
+        self._reverse_labels.append(label)
+        return vertex_id
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        """Add a directed edge between two (possibly new) labelled vertices."""
+        if source == target:
+            self._dropped_self_loops += 1
+            return
+        u = self.add_vertex(source)
+        v = self.add_vertex(target)
+        self._edges.append((u, v))
+
+    def add_edges(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        """Add many edges at once."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertex labels seen so far."""
+        return len(self._reverse_labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges added so far (before deduplication)."""
+        return len(self._edges)
+
+    @property
+    def dropped_self_loops(self) -> int:
+        """Number of self loops that were silently dropped."""
+        return self._dropped_self_loops
+
+    def vertex_id(self, label: Hashable) -> int:
+        """Return the dense id previously assigned to ``label``."""
+        try:
+            return self._labels[label]
+        except KeyError as exc:
+            raise GraphError(f"unknown vertex label: {label!r}") from exc
+
+    def vertex_label(self, vertex_id: int) -> Hashable:
+        """Return the original label for a dense vertex id."""
+        if not (0 <= vertex_id < len(self._reverse_labels)):
+            raise GraphError(f"unknown vertex id: {vertex_id}")
+        return self._reverse_labels[vertex_id]
+
+    def label_mapping(self) -> Dict[Hashable, int]:
+        """Return a copy of the label -> id mapping."""
+        return dict(self._labels)
+
+    # ------------------------------------------------------------------
+    def build(self, name: str = "graph") -> DiGraph:
+        """Return the immutable :class:`DiGraph` accumulated so far."""
+        return DiGraph(len(self._reverse_labels), self._edges, name=name)
+
+
+def build_graph(
+    edges: Iterable[Tuple[Hashable, Hashable]],
+    name: str = "graph",
+    builder: Optional[GraphBuilder] = None,
+) -> Tuple[DiGraph, GraphBuilder]:
+    """Build a graph from labelled edges and return it with its builder.
+
+    The returned builder keeps the label mapping so callers can translate
+    results (e.g. edges of a simple path graph) back to the original labels.
+    """
+    graph_builder = builder if builder is not None else GraphBuilder()
+    graph_builder.add_edges(edges)
+    return graph_builder.build(name=name), graph_builder

@@ -1,0 +1,125 @@
+"""Edge-list input/output.
+
+The datasets in the paper (Table 2) are distributed as plain edge lists by
+SNAP, KONECT and NetworkRepository.  This module reads and writes that
+format so users can run the library on the real networks when they have
+them, and it is also used by the dataset registry to cache generated
+synthetic proxies on disk.
+
+Supported format: one edge per line, ``<source> <target>`` separated by
+whitespace (or a custom delimiter), with ``#`` / ``%`` comment lines ignored
+(SNAP uses ``#``, KONECT uses ``%``).  Optional trailing columns (weights,
+timestamps) are ignored unless ``with_timestamps`` is requested.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro._types import Edge
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "load_graph",
+    "save_graph",
+    "iter_edge_lines",
+]
+
+PathLike = Union[str, Path]
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _open_text(path: PathLike, mode: str = "rt"):
+    """Open ``path`` as text, transparently handling ``.gz`` files."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode, encoding="utf-8")
+
+
+def iter_edge_lines(path: PathLike, delimiter: Optional[str] = None) -> Iterator[List[str]]:
+    """Yield the whitespace-split fields of every non-comment line."""
+    with _open_text(path) as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            yield line.split(delimiter)
+
+
+def read_edge_list(
+    path: PathLike,
+    delimiter: Optional[str] = None,
+    with_timestamps: bool = False,
+) -> List[Tuple]:
+    """Read an edge list file and return raw ``(u, v)`` label pairs.
+
+    Labels are returned as strings; relabelling to dense ids is the job of
+    :class:`~repro.graph.builder.GraphBuilder` (see :func:`load_graph`).
+    When ``with_timestamps`` is true, a third column is parsed as a float
+    timestamp and 3-tuples are returned.
+    """
+    edges: List[Tuple] = []
+    for fields in iter_edge_lines(path, delimiter=delimiter):
+        if len(fields) < 2:
+            raise GraphError(f"malformed edge line (needs >=2 fields): {fields!r}")
+        if with_timestamps:
+            if len(fields) < 3:
+                raise GraphError(
+                    f"edge line missing timestamp column: {fields!r}"
+                )
+            edges.append((fields[0], fields[1], float(fields[2])))
+        else:
+            edges.append((fields[0], fields[1]))
+    return edges
+
+
+def write_edge_list(
+    path: PathLike,
+    edges: Iterable[Edge],
+    header: Optional[str] = None,
+) -> int:
+    """Write ``edges`` to ``path`` (one ``u v`` pair per line).
+
+    Returns the number of edges written.
+    """
+    count = 0
+    with _open_text(path, "wt") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in edges:
+            handle.write(f"{u} {v}\n")
+            count += 1
+    return count
+
+
+def load_graph(
+    path: PathLike,
+    name: Optional[str] = None,
+    delimiter: Optional[str] = None,
+) -> Tuple[DiGraph, GraphBuilder]:
+    """Load a graph from an edge-list file.
+
+    Returns the graph together with the :class:`GraphBuilder` holding the
+    label mapping (original labels may be arbitrary strings or sparse ids).
+    """
+    builder = GraphBuilder()
+    for fields in iter_edge_lines(path, delimiter=delimiter):
+        if len(fields) < 2:
+            raise GraphError(f"malformed edge line (needs >=2 fields): {fields!r}")
+        builder.add_edge(fields[0], fields[1])
+    graph_name = name if name is not None else Path(path).stem
+    return builder.build(name=graph_name), builder
+
+
+def save_graph(path: PathLike, graph: DiGraph, header: Optional[str] = None) -> int:
+    """Save ``graph`` as an edge list; returns the number of edges written."""
+    default_header = f"graph {graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges"
+    return write_edge_list(path, graph.edges(), header=header or default_header)

@@ -1,0 +1,18 @@
+"""k-hop s-t subgraph queries (KHSQ / KHSQ+).
+
+Liu et al.'s hop-constrained subgraph query returns ``G^k_st``: the subgraph
+containing *all* s-t paths within ``k`` hops (not only simple ones).  The
+paper uses it in two comparisons:
+
+* as an alternative search space for PathEnum (Section 6.7, Table 4), and
+* as a preprocessing step for generating ``SPG_k`` with JOIN/PathEnum
+  (Section 6.8, Table 5 and Figure 12(b)).
+
+``KHSQ`` computes distances with two single-directional BFS passes; the
+optimised ``KHSQ+`` (introduced by the paper) swaps in the adaptive
+bi-directional search of Section 3.3.
+"""
+
+from repro.khsq.khsq import KHSQ, KHSQPlus, k_hop_subgraph
+
+__all__ = ["KHSQ", "KHSQPlus", "k_hop_subgraph"]

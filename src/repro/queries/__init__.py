@@ -1,0 +1,25 @@
+"""Query workload generation and k-hop reachability.
+
+The paper's experiments issue 1000 random queries per graph and hop
+constraint, restricted to pairs ``(s, t)`` where ``t`` is reachable from
+``s`` within ``k`` hops (Section 6.1), plus a distance-stratified workload
+for Figure 10(b).  This package reproduces both workload generators and the
+k-hop reachability primitive they rely on.
+"""
+
+from repro.queries.reachability import is_k_hop_reachable, k_hop_distance
+from repro.queries.workload import (
+    Query,
+    QueryWorkload,
+    distance_stratified_queries,
+    random_reachable_queries,
+)
+
+__all__ = [
+    "Query",
+    "QueryWorkload",
+    "is_k_hop_reachable",
+    "k_hop_distance",
+    "random_reachable_queries",
+    "distance_stratified_queries",
+]

@@ -1,0 +1,88 @@
+"""k-hop reachability primitives.
+
+The workload generators only issue queries whose target is reachable from
+the source within ``k`` hops; other pairs are filtered out by a k-hop
+reachability check, mirroring the paper's setup (Section 6.1).  A meet-in-
+the-middle bi-directional BFS keeps the check cheap even for larger ``k``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from repro._types import Vertex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["k_hop_distance", "is_k_hop_reachable"]
+
+
+def k_hop_distance(
+    graph: DiGraph, source: Vertex, target: Vertex, k: int
+) -> Optional[int]:
+    """Return ``dist(source, target)`` if it is at most ``k``, else ``None``.
+
+    Uses bi-directional BFS: the forward and backward waves are expanded
+    alternately (smaller frontier first) until they meet or the combined
+    depth exceeds ``k``.
+    """
+    graph.check_vertex(source)
+    graph.check_vertex(target)
+    if k < 0:
+        raise QueryError(f"hop budget must be non-negative, got {k}")
+    if source == target:
+        return 0
+
+    forward: Dict[Vertex, int] = {source: 0}
+    backward: Dict[Vertex, int] = {target: 0}
+    forward_frontier = [source]
+    backward_frontier = [target]
+    forward_depth = 0
+    backward_depth = 0
+    best: Optional[int] = None
+
+    while forward_frontier and backward_frontier and forward_depth + backward_depth < k:
+        expand_forward = len(forward_frontier) <= len(backward_frontier)
+        if expand_forward:
+            forward_depth += 1
+            next_frontier = []
+            for vertex in forward_frontier:
+                for neighbor in graph.out_neighbors(vertex):
+                    if neighbor in forward:
+                        continue
+                    forward[neighbor] = forward_depth
+                    next_frontier.append(neighbor)
+                    if neighbor in backward:
+                        total = forward_depth + backward[neighbor]
+                        if best is None or total < best:
+                            best = total
+            forward_frontier = next_frontier
+        else:
+            backward_depth += 1
+            next_frontier = []
+            for vertex in backward_frontier:
+                for neighbor in graph.in_neighbors(vertex):
+                    if neighbor in backward:
+                        continue
+                    backward[neighbor] = backward_depth
+                    next_frontier.append(neighbor)
+                    if neighbor in forward:
+                        total = backward_depth + forward[neighbor]
+                        if best is None or total < best:
+                            best = total
+            backward_frontier = next_frontier
+        if best is not None and best <= forward_depth + backward_depth:
+            # No shorter meeting point can appear once both waves passed it.
+            break
+
+    if best is not None and best <= k:
+        return best
+    if best is None and target in forward:
+        return forward[target]
+    return None
+
+
+def is_k_hop_reachable(graph: DiGraph, source: Vertex, target: Vertex, k: int) -> bool:
+    """True when ``target`` is reachable from ``source`` within ``k`` hops."""
+    return k_hop_distance(graph, source, target, k) is not None

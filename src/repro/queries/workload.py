@@ -1,0 +1,157 @@
+"""Random query workload generation (Section 6.1).
+
+Two workloads are used by the paper's experiments:
+
+* **random reachable queries** — for each hop constraint ``k``, pairs
+  ``(s, t)`` drawn uniformly at random such that ``t`` is reachable from
+  ``s`` within ``k`` hops (1000 per graph in the paper; configurable here);
+* **distance-stratified queries** — for Figure 10(b), queries grouped by the
+  exact shortest distance ``dist(s, t)`` in ``1 .. k``.
+
+Both generators are deterministic given a seed, so benchmark runs are
+repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro._types import Vertex
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.queries.reachability import k_hop_distance
+
+__all__ = ["Query", "QueryWorkload", "random_reachable_queries", "distance_stratified_queries"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One ``<s, t, k>`` query, optionally annotated with ``dist(s, t)``."""
+
+    source: Vertex
+    target: Vertex
+    k: int
+    distance: Optional[int] = None
+
+    def as_tuple(self) -> tuple:
+        """Return ``(source, target, k)``."""
+        return (self.source, self.target, self.k)
+
+
+@dataclass
+class QueryWorkload:
+    """A named batch of queries over one graph."""
+
+    graph_name: str
+    k: int
+    queries: List[Query]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def random_reachable_queries(
+    graph: DiGraph,
+    k: int,
+    count: int,
+    seed: int = 0,
+    max_attempts_factor: int = 200,
+) -> QueryWorkload:
+    """Draw ``count`` random query pairs reachable within ``k`` hops.
+
+    Sources are drawn uniformly among vertices with at least one out-edge;
+    the target is chosen by a short random walk of length ``<= k`` from the
+    source (guaranteeing reachability) and then validated with the exact
+    k-hop reachability test.  Raises :class:`QueryError` when the graph is
+    too sparse to produce the requested number of queries.
+    """
+    if count < 0:
+        raise QueryError(f"count must be non-negative, got {count}")
+    if k < 1:
+        raise QueryError(f"hop constraint k must be >= 1, got {k}")
+    rng = random.Random(seed)
+    sources = [u for u in graph.vertices() if graph.out_degree(u) > 0]
+    if not sources and count > 0:
+        raise QueryError(f"graph {graph.name!r} has no edges; cannot generate queries")
+    queries: List[Query] = []
+    attempts = 0
+    max_attempts = max(count * max_attempts_factor, 1000)
+    while len(queries) < count and attempts < max_attempts:
+        attempts += 1
+        source = sources[rng.randrange(len(sources))]
+        # Random walk of length <= k to pick a (likely reachable) target.
+        current = source
+        steps = rng.randint(1, k)
+        for _ in range(steps):
+            neighbors = graph.out_neighbors(current)
+            if not neighbors:
+                break
+            current = neighbors[rng.randrange(len(neighbors))]
+        target = current
+        if target == source:
+            continue
+        distance = k_hop_distance(graph, source, target, k)
+        if distance is None:
+            continue
+        queries.append(Query(source=source, target=target, k=k, distance=distance))
+    if len(queries) < count:
+        raise QueryError(
+            f"could only generate {len(queries)}/{count} reachable queries "
+            f"on graph {graph.name!r} (k={k})"
+        )
+    return QueryWorkload(graph_name=graph.name, k=k, queries=queries)
+
+
+def distance_stratified_queries(
+    graph: DiGraph,
+    k: int,
+    per_distance: int,
+    seed: int = 0,
+    distances: Optional[List[int]] = None,
+    max_attempts_factor: int = 400,
+) -> Dict[int, QueryWorkload]:
+    """Generate ``per_distance`` queries for each shortest distance in ``1..k``.
+
+    Used by the Figure 10(b) experiment ("effect of distances between query
+    pairs").  Returns ``{distance: workload}``; distances for which the graph
+    cannot produce enough pairs are returned with fewer queries rather than
+    failing, matching how sparse graphs behave in practice.
+    """
+    if per_distance < 0:
+        raise QueryError(f"per_distance must be non-negative, got {per_distance}")
+    wanted = distances if distances is not None else list(range(1, k + 1))
+    rng = random.Random(seed)
+    sources = [u for u in graph.vertices() if graph.out_degree(u) > 0]
+    buckets: Dict[int, List[Query]] = {d: [] for d in wanted}
+    if sources and per_distance > 0:
+        attempts = 0
+        max_attempts = max(per_distance * len(wanted) * max_attempts_factor, 1000)
+        while attempts < max_attempts and any(
+            len(bucket) < per_distance for bucket in buckets.values()
+        ):
+            attempts += 1
+            source = sources[rng.randrange(len(sources))]
+            current = source
+            steps = rng.randint(1, k)
+            for _ in range(steps):
+                neighbors = graph.out_neighbors(current)
+                if not neighbors:
+                    break
+                current = neighbors[rng.randrange(len(neighbors))]
+            if current == source:
+                continue
+            distance = k_hop_distance(graph, source, current, k)
+            if distance is None or distance not in buckets:
+                continue
+            bucket = buckets[distance]
+            if len(bucket) < per_distance:
+                bucket.append(Query(source=source, target=current, k=k, distance=distance))
+    return {
+        d: QueryWorkload(graph_name=graph.name, k=k, queries=bucket)
+        for d, bucket in buckets.items()
+    }

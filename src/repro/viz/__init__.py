@@ -1,0 +1,13 @@
+"""Visualisation helpers for simple path graphs.
+
+The relation-visualisation use case (RelFinder-style, Section 1.1) displays
+the simple path graph between two entities instead of listing all paths.
+This package renders query results to Graphviz DOT (:mod:`repro.viz.dot`)
+and to a quick ASCII adjacency sketch (:mod:`repro.viz.ascii_art`) so the
+examples can show results without any plotting dependency.
+"""
+
+from repro.viz.ascii_art import render_adjacency, render_result_summary
+from repro.viz.dot import result_to_dot, to_dot
+
+__all__ = ["to_dot", "result_to_dot", "render_adjacency", "render_result_summary"]

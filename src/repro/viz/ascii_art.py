@@ -1,0 +1,61 @@
+"""Plain-text rendering of small graphs and query results.
+
+Used by the examples to show results directly in a terminal without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro._types import Vertex
+from repro.core.result import SimplePathGraphResult
+from repro.graph.digraph import DiGraph
+
+__all__ = ["render_adjacency", "render_result_summary"]
+
+
+def render_adjacency(
+    graph: DiGraph,
+    label: Optional[Callable[[Vertex], str]] = None,
+    max_vertices: int = 50,
+) -> str:
+    """Return an adjacency-list sketch: one ``u -> v, w, ...`` line per vertex."""
+    labeler = label or str
+    lines: List[str] = [f"{graph.name}: |V|={graph.num_vertices} |E|={graph.num_edges}"]
+    shown = 0
+    for u in graph.vertices():
+        neighbors = graph.out_neighbors(u)
+        if not neighbors:
+            continue
+        targets = ", ".join(labeler(v) for v in neighbors)
+        lines.append(f"  {labeler(u)} -> {targets}")
+        shown += 1
+        if shown >= max_vertices:
+            lines.append(f"  ... ({graph.num_vertices - shown} more vertices)")
+            break
+    return "\n".join(lines)
+
+
+def render_result_summary(
+    result: SimplePathGraphResult,
+    label: Optional[Callable[[Vertex], str]] = None,
+) -> str:
+    """Return a human-readable summary of a simple-path-graph query result."""
+    labeler = label or str
+    lines = [
+        f"SPG_{result.k}({labeler(result.source)}, {labeler(result.target)}) "
+        f"computed by {result.algorithm}",
+        f"  edges in answer      : {result.num_edges}",
+        f"  edges in upper bound : {result.num_upper_bound_edges}",
+        f"  vertices in answer   : {len(result.vertices)}",
+        f"  redundant ratio      : {result.redundant_ratio():.4%}",
+        f"  total time           : {result.phases.total_seconds * 1000:.2f} ms",
+        f"  peak retained items  : {result.space.peak}",
+    ]
+    if result.edges:
+        sample = sorted(result.edges)[:10]
+        rendered = ", ".join(f"{labeler(u)}->{labeler(v)}" for u, v in sample)
+        suffix = " ..." if result.num_edges > 10 else ""
+        lines.append(f"  sample edges         : {rendered}{suffix}")
+    return "\n".join(lines)

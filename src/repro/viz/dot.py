@@ -1,0 +1,70 @@
+"""Graphviz DOT export of graphs and simple-path-graph query results."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro._types import Edge, Vertex
+from repro.core.result import SimplePathGraphResult
+from repro.graph.digraph import DiGraph
+
+__all__ = ["to_dot", "result_to_dot"]
+
+
+def _default_label(vertex: Vertex) -> str:
+    return str(vertex)
+
+
+def to_dot(
+    graph: DiGraph,
+    name: str = "G",
+    highlight_vertices: Optional[Set[Vertex]] = None,
+    highlight_edges: Optional[Set[Edge]] = None,
+    label: Optional[Callable[[Vertex], str]] = None,
+) -> str:
+    """Render ``graph`` as a Graphviz DOT string.
+
+    Highlighted vertices are drawn filled; highlighted edges are drawn bold.
+    Only vertices incident to at least one edge are emitted, which keeps the
+    output readable for subgraphs of large graphs.
+    """
+    labeler = label or _default_label
+    highlight_vertices = highlight_vertices or set()
+    highlight_edges = highlight_edges or set()
+    used: Set[Vertex] = set()
+    for u, v in graph.edges():
+        used.add(u)
+        used.add(v)
+    used |= highlight_vertices
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for vertex in sorted(used):
+        attributes = [f'label="{labeler(vertex)}"']
+        if vertex in highlight_vertices:
+            attributes.append("style=filled")
+            attributes.append("fillcolor=lightblue")
+        lines.append(f"  v{vertex} [{', '.join(attributes)}];")
+    for u, v in sorted(graph.edges()):
+        attributes = []
+        if (u, v) in highlight_edges:
+            attributes.append("penwidth=2.5")
+            attributes.append("color=crimson")
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  v{u} -> v{v}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def result_to_dot(
+    result: SimplePathGraphResult,
+    graph: DiGraph,
+    label: Optional[Callable[[Vertex], str]] = None,
+) -> str:
+    """Render a query result: the SPG edges bold inside their subgraph."""
+    subgraph = result.to_graph(graph)
+    return to_dot(
+        subgraph,
+        name=f"SPG{result.k}",
+        highlight_vertices={result.source, result.target},
+        highlight_edges=set(result.edges),
+        label=label,
+    )

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+The ``figure1`` fixtures reproduce the worked example of the paper
+(Figure 1 / Figure 5 / Figure 6), which several tests check against the
+values printed in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, build_graph
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, power_law_cluster
+
+FIGURE1_EDGES = [
+    ("s", "c"),
+    ("s", "a"),
+    ("a", "c"),
+    ("a", "h"),
+    ("a", "i"),
+    ("c", "t"),
+    ("c", "b"),
+    ("b", "t"),
+    ("b", "a"),
+    ("b", "j"),
+    ("h", "b"),
+    ("i", "j"),
+    ("j", "h"),
+]
+
+
+@pytest.fixture
+def figure1() -> tuple[DiGraph, GraphBuilder]:
+    """The paper's Figure 1 graph, with its label <-> id mapping."""
+    graph, builder = build_graph(FIGURE1_EDGES, name="figure-1")
+    return graph, builder
+
+
+@pytest.fixture
+def figure1_graph(figure1) -> DiGraph:
+    """Just the Figure 1 graph."""
+    return figure1[0]
+
+
+@pytest.fixture
+def figure1_ids(figure1):
+    """Callable mapping Figure 1 labels to vertex ids."""
+    _, builder = figure1
+    return builder.vertex_id
+
+
+@pytest.fixture
+def small_dense_graph() -> DiGraph:
+    """A small dense random graph (many paths, still brute-forceable)."""
+    return erdos_renyi(12, 2.5, seed=42, name="small-dense")
+
+
+@pytest.fixture
+def small_power_law_graph() -> DiGraph:
+    """A small preferential-attachment graph with hubs and short cycles."""
+    return power_law_cluster(15, 2, seed=7, name="small-power-law")
+
+
+@pytest.fixture
+def diamond_graph() -> DiGraph:
+    """Two disjoint 2-hop routes from 0 to 3 plus a direct edge."""
+    return DiGraph(4, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)], name="diamond")

@@ -1,0 +1,107 @@
+"""Tests for metrics and the brute-force validation oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    aggregate_space,
+    average,
+    brute_force_spg,
+    check_path,
+    coverage_ratio,
+    is_simple_path,
+    redundant_ratio,
+    speedup,
+    spg_equal,
+)
+from repro.analysis.validate import brute_force_paths
+from repro.graph.digraph import DiGraph
+
+
+class TestMetrics:
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert average([]) == 0.0
+
+    def test_coverage_ratio(self):
+        assert coverage_ratio(5, 10) == pytest.approx(0.5)
+        assert coverage_ratio(5, 0) == 0.0
+
+    def test_redundant_ratio(self):
+        assert redundant_ratio(110, 100) == pytest.approx(0.1)
+        assert redundant_ratio(0, 0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_aggregate_space(self):
+        stats = aggregate_space([5, 1, 9, 3])
+        assert stats == {"max": 9.0, "median": 4.0, "min": 1.0}
+        assert aggregate_space([]) == {"max": 0.0, "median": 0.0, "min": 0.0}
+
+
+class TestValidationOracle:
+    def test_is_simple_path(self):
+        assert is_simple_path([0, 1, 2])
+        assert not is_simple_path([0, 1, 0])
+
+    def test_check_path(self):
+        graph = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert check_path(graph, [0, 1, 2, 3], 0, 3, 3)
+        assert not check_path(graph, [0, 1, 2, 3], 0, 3, 2)       # too long
+        assert not check_path(graph, [0, 2, 3], 0, 3, 3)          # missing edge
+        assert not check_path(graph, [0, 1, 2], 0, 3, 3)          # wrong endpoint
+        assert not check_path(graph, [0], 0, 0, 3)                # too short
+
+    def test_brute_force_paths_diamond(self, diamond_graph):
+        paths = brute_force_paths(diamond_graph, 0, 3, 2)
+        assert sorted(paths) == [(0, 1, 3), (0, 2, 3), (0, 3)]
+
+    def test_brute_force_spg_diamond(self, diamond_graph):
+        assert brute_force_spg(diamond_graph, 0, 3, 1) == {(0, 3)}
+        assert brute_force_spg(diamond_graph, 0, 3, 2) == set(diamond_graph.edges())
+
+    def test_spg_equal(self):
+        assert spg_equal({(0, 1)}, {(0, 1)})
+        assert not spg_equal({(0, 1)}, {(1, 0)})
+
+
+class TestSpaceMeter:
+    def test_allocation_and_release(self):
+        from repro.core.space import SpaceMeter
+
+        meter = SpaceMeter()
+        meter.allocate(5, "a")
+        meter.allocate(3, "b")
+        assert meter.current == 8
+        assert meter.peak == 8
+        meter.release(5, "a")
+        assert meter.current == 3
+        assert meter.peak == 8
+        assert meter.breakdown() == {"a": 0, "b": 3}
+
+    def test_negative_amounts_ignored(self):
+        from repro.core.space import SpaceMeter
+
+        meter = SpaceMeter()
+        meter.allocate(-3)
+        meter.release(-1)
+        assert meter.current == 0 and meter.peak == 0
+
+    def test_release_never_goes_negative(self):
+        from repro.core.space import SpaceMeter
+
+        meter = SpaceMeter()
+        meter.allocate(2)
+        meter.release(10)
+        assert meter.current == 0
+
+    def test_reset(self):
+        from repro.core.space import SpaceMeter
+
+        meter = SpaceMeter()
+        meter.allocate(4)
+        meter.reset()
+        assert meter.current == 0 and meter.peak == 0 and meter.breakdown() == {}

@@ -1,0 +1,185 @@
+"""Tests for the benchmark harness (report rendering, runner, experiment drivers).
+
+Experiment drivers are exercised end to end at a deliberately tiny scale so
+the whole file stays fast; the benchmarks/ directory runs them at larger
+scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import AlgorithmRegistry, ExperimentScale, QueryRunner
+from repro.bench.report import format_value, pivot_rows, render_series, render_table
+from repro.exceptions import ExperimentError
+from repro.graph.generators import erdos_renyi
+from repro.queries.workload import random_reachable_queries
+
+TINY = ExperimentScale(
+    dataset_scale=0.05,
+    num_queries=1,
+    hop_values=(3, 5),
+    datasets=("tw", "ps"),
+    seed=3,
+    timeout_seconds=20.0,
+    per_query_budget=0.5,
+)
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(3.14159, precision=3) == "3.14"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(True) == "True"
+        assert format_value(12345.6) == "12345.6"
+
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 2 + 2 + 1  # title + header + separator + 2 rows
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_render_table_missing_cells(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=["a", "b"])
+        assert "-" in text
+
+    def test_pivot_rows(self):
+        rows = [
+            {"k": 3, "alg": "EVE", "ms": 1.0},
+            {"k": 3, "alg": "JOIN", "ms": 5.0},
+            {"k": 4, "alg": "EVE", "ms": 2.0},
+        ]
+        pivoted = pivot_rows(rows, index="k", column="alg", value="ms")
+        assert pivoted[0] == {"k": 3, "EVE": 1.0, "JOIN": 5.0}
+        assert pivoted[1] == {"k": 4, "EVE": 2.0}
+
+    def test_render_series(self):
+        rows = [
+            {"k": 3, "alg": "EVE", "ms": 1.0},
+            {"k": 3, "alg": "JOIN", "ms": 5.0},
+        ]
+        text = render_series(rows, x="k", y="ms", series="alg")
+        assert "EVE" in text and "JOIN" in text
+
+
+class TestScale:
+    def test_presets(self):
+        assert ExperimentScale.tiny().num_queries <= ExperimentScale.small().num_queries
+        assert len(ExperimentScale.paper().datasets) == 15
+
+    def test_load_graph_and_workload(self):
+        scale = TINY
+        graph = scale.load_graph("tw")
+        workload = scale.workload(graph, 3)
+        assert len(workload) == scale.num_queries
+
+
+class TestQueryRunner:
+    def test_measurements(self):
+        graph = erdos_renyi(40, 2.5, seed=1)
+        registry = AlgorithmRegistry(graph)
+        workload = random_reachable_queries(graph, 4, 3, seed=2)
+        runner = QueryRunner()
+        measurements = runner.run("EVE", registry.build("EVE"), workload)
+        assert len(measurements) == 3
+        assert all(m.seconds >= 0 for m in measurements)
+        assert QueryRunner.total_seconds(measurements) >= QueryRunner.average_seconds(measurements)
+
+    def test_timeout_skips_remaining(self):
+        graph = erdos_renyi(40, 2.5, seed=1)
+        registry = AlgorithmRegistry(graph)
+        workload = random_reachable_queries(graph, 4, 5, seed=2)
+        runner = QueryRunner()
+        measurements = runner.run("EVE", registry.build("EVE"), workload, timeout_seconds=0.0)
+        assert len(measurements) <= 1
+
+    def test_average_of_empty(self):
+        assert QueryRunner.average_seconds([]) == 0.0
+
+    def test_keep_results(self):
+        graph = erdos_renyi(30, 2.5, seed=1)
+        registry = AlgorithmRegistry(graph)
+        workload = random_reachable_queries(graph, 3, 1, seed=2)
+        runner = QueryRunner(keep_results=True)
+        measurements = runner.run("EVE", registry.build("EVE"), workload)
+        assert measurements[0].result is not None
+
+
+class TestAlgorithmRegistry:
+    def test_known_algorithms_agree_on_answer(self):
+        graph = erdos_renyi(25, 2.0, seed=4)
+        registry = AlgorithmRegistry(graph)
+        workload = random_reachable_queries(graph, 4, 1, seed=1)
+        query = workload.queries[0]
+        results = {}
+        for name in ("EVE", "JOIN", "PathEnum", "BC-DFS", "KHSQ+JOIN", "KHSQ+PathEnum"):
+            results[name] = registry.build(name)(query.source, query.target, query.k).edges
+        reference = results.pop("EVE")
+        for name, edges in results.items():
+            assert edges == reference, name
+
+    def test_unknown_algorithm(self):
+        graph = erdos_renyi(10, 2.0, seed=0)
+        with pytest.raises(ExperimentError):
+            AlgorithmRegistry(graph).build("magic")
+
+
+class TestExperimentDrivers:
+    def test_registry_contains_all_figures_and_tables(self):
+        assert set(EXPERIMENTS) == {
+            "fig2b", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "fig11",
+            "fig12a", "fig12b", "table3", "table4", "table5", "fig13",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", TINY)
+
+    @pytest.mark.parametrize("name", ["fig2b", "fig12a", "table3", "fig13"])
+    def test_cheap_drivers_produce_rows(self, name):
+        rows = run_experiment(name, TINY)
+        assert rows
+        assert all(isinstance(row, dict) for row in rows)
+
+    def test_fig8_rows_have_expected_columns(self):
+        rows = run_experiment("fig8", TINY)
+        assert {"graph", "k", "algorithm", "total_ms"} <= set(rows[0])
+
+    def test_fig11_variants(self):
+        rows = run_experiment("fig11", TINY)
+        assert {"Naive EVE", "EVE (full)"} <= {row["variant"] for row in rows}
+
+    def test_table4_columns(self):
+        rows = run_experiment("table4", TINY)
+        assert {"time_speedup", "work_speedup", "search_space"} <= set(rows[0])
+
+    def test_fig13_recovers_ring(self):
+        rows = run_experiment("fig13", TINY)
+        assert rows[0]["recall"] >= 0.75
+
+
+class TestCommandLine:
+    def test_main_runs_one_experiment(self, capsys):
+        from repro.bench.__main__ import main
+
+        exit_code = main(["fig13", "--scale", "tiny"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fig13" in captured.out
+
+    def test_main_with_overrides(self, capsys):
+        from repro.bench.__main__ import main
+
+        exit_code = main(["fig12a", "--scale", "tiny", "--queries", "1", "--datasets", "tw"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "avg_coverage_ratio" in captured.out

@@ -1,0 +1,117 @@
+"""Tests for hop-constrained cycle graphs and the fraud screener."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validate import brute_force_spg, check_path
+from repro.cycles import FraudScreener, constrained_cycle_graph, constrained_cycles
+from repro.datasets.transaction import generate_transaction_network
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import cycle_graph as ring_generator
+from repro.graph.generators import erdos_renyi
+
+
+class TestCycleGraph:
+    def test_single_ring(self):
+        ring = ring_generator(5)
+        result = constrained_cycle_graph(ring, (4, 0), 5)
+        assert result.has_cycles
+        assert result.edges == set(ring.edges())
+        assert result.vertices == set(range(5))
+
+    def test_ring_too_long_for_budget(self):
+        ring = ring_generator(5)
+        result = constrained_cycle_graph(ring, (4, 0), 4)
+        assert not result.has_cycles
+        assert result.edges == set()
+
+    def test_two_cycle(self):
+        graph = DiGraph(2, [(0, 1), (1, 0)])
+        result = constrained_cycle_graph(graph, (1, 0), 2)
+        assert result.edges == {(0, 1), (1, 0)}
+
+    def test_matches_spg_plus_anchor(self):
+        graph = erdos_renyi(12, 2.5, seed=3)
+        edges = list(graph.edges())
+        anchor = edges[0]
+        tail, head = anchor
+        result = constrained_cycle_graph(graph, anchor, 5)
+        expected = brute_force_spg(graph, head, tail, 4)
+        if expected:
+            expected = expected | {anchor}
+        assert result.edges == expected
+
+    def test_invalid_inputs(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        with pytest.raises(QueryError):
+            constrained_cycle_graph(graph, (2, 0), 4)     # missing edge
+        with pytest.raises(QueryError):
+            constrained_cycle_graph(graph, (0, 1), 1)     # budget too small
+
+    def test_to_graph(self):
+        ring = ring_generator(4)
+        result = constrained_cycle_graph(ring, (3, 0), 4)
+        subgraph = result.to_graph(ring)
+        assert set(subgraph.edges()) == result.edges
+
+
+class TestCycleEnumeration:
+    def test_ring_has_exactly_one_cycle(self):
+        ring = ring_generator(4)
+        cycles = list(constrained_cycles(ring, (3, 0), 4))
+        assert cycles == [(0, 1, 2, 3)]
+
+    def test_cycles_are_valid_paths(self):
+        graph = erdos_renyi(10, 2.5, seed=6)
+        anchor = next(iter(graph.edges()))
+        tail, head = anchor
+        for cycle in constrained_cycles(graph, anchor, 5):
+            assert check_path(graph, cycle, head, tail, 4)
+
+    def test_no_cycles_yields_nothing(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        assert list(constrained_cycles(graph, (0, 1), 3)) == []
+
+
+class TestFraudScreener:
+    @pytest.fixture()
+    def network(self):
+        return generate_transaction_network(
+            num_accounts=150, num_transactions=600, num_fraud_rings=2, ring_size=4, seed=9
+        )
+
+    def test_flagged_edge_is_detected(self, network):
+        screener = FraudScreener(network, max_cycle_length=6, window_days=7.0)
+        payer, payee, timestamp = network.flagged_edge
+        finding = screener.screen_transaction(
+            type(network.transactions[0])(payer, payee, timestamp)
+        )
+        assert finding is not None
+        assert set(network.fraud_rings[0]) <= set(finding.involved_accounts)
+
+    def test_screen_recent_finds_planted_rings(self, network):
+        screener = FraudScreener(network, max_cycle_length=6, window_days=7.0)
+        report = screener.screen_recent(since=27.0)
+        assert report.screened > 0
+        assert report.num_suspicious >= 1
+        precision, recall = report.precision_recall(network.fraud_accounts())
+        assert recall > 0.0
+
+    def test_limit_caps_work(self, network):
+        screener = FraudScreener(network, max_cycle_length=5, window_days=7.0)
+        report = screener.screen_recent(limit=3)
+        assert report.screened == 3
+
+    def test_empty_ground_truth(self, network):
+        screener = FraudScreener(network, max_cycle_length=5, window_days=7.0)
+        report = screener.screen_recent(limit=1)
+        precision, recall = report.precision_recall(set())
+        assert recall == 0.0
+
+    def test_invalid_parameters(self, network):
+        with pytest.raises(QueryError):
+            FraudScreener(network, max_cycle_length=1)
+        with pytest.raises(QueryError):
+            FraudScreener(network, window_days=0.0)

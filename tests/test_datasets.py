@@ -1,0 +1,125 @@
+"""Tests for the dataset registry and the transaction-network generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_spg
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    dataset_summary_table,
+    generate_transaction_network,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_all_fifteen_datasets_present(self):
+        assert len(DATASETS) == 15
+        assert dataset_names() == [
+            "ps", "ye", "wn", "uk", "sf", "bk", "tw", "bs",
+            "gg", "hm", "wt", "lj", "dl", "fr", "hg",
+        ]
+
+    @pytest.mark.parametrize("code", ["ps", "wn", "tw", "lj", "hg"])
+    def test_proxies_generate_and_are_nonempty(self, code):
+        graph = load_dataset(code, scale=0.1)
+        assert graph.num_vertices >= 8
+        assert graph.num_edges > 0
+        assert graph.name == f"{code}-proxy"
+
+    def test_proxies_are_deterministic(self):
+        assert load_dataset("ye", scale=0.1) == load_dataset("ye", scale=0.1)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("bs", scale=0.1)
+        large = load_dataset("bs", scale=0.3)
+        assert large.num_vertices > small.num_vertices
+
+    def test_density_ordering_matches_table2(self):
+        """Dense proxies (ps, hm) must have higher average degree than sparse ones (tw, wt)."""
+        dense = load_dataset("ps", scale=0.2).average_degree()
+        sparse = load_dataset("tw", scale=0.2).average_degree()
+        assert dense > 4 * sparse
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("zz")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("ps", scale=0.0)
+
+    def test_summary_table_rows(self):
+        rows = dataset_summary_table(scale=0.05)
+        assert len(rows) == 15
+        first = rows[0]
+        assert {"code", "real_|V|", "proxy_|V|", "proxy_d_avg"} <= set(first)
+
+    def test_queries_run_on_proxies(self):
+        graph = load_dataset("tw", scale=0.1)
+        # Just check that an SPG query runs end to end on a proxy.
+        source = next(u for u in graph.vertices() if graph.out_degree(u) > 0)
+        target = graph.out_neighbors(source)[0]
+        result = build_spg(graph, source, target, 4)
+        assert result.exact
+
+
+class TestTransactionNetwork:
+    def test_generation_basics(self):
+        network = generate_transaction_network(
+            num_accounts=100, num_transactions=500, seed=1
+        )
+        assert network.num_accounts == 100
+        assert len(network.transactions) >= 500  # background + ring transactions
+        assert len(network.fraud_rings) == 3
+        assert network.flagged_edge is not None
+
+    def test_transactions_sorted_by_time(self):
+        network = generate_transaction_network(num_accounts=80, num_transactions=300, seed=2)
+        times = [txn.timestamp for txn in network.transactions]
+        assert times == sorted(times)
+
+    def test_snapshot_time_filtering(self):
+        network = generate_transaction_network(num_accounts=80, num_transactions=300, seed=3)
+        full = network.snapshot()
+        recent = network.snapshot(start_time=25.0)
+        assert recent.num_edges <= full.num_edges
+
+    def test_window_around_flag_contains_ring(self):
+        network = generate_transaction_network(num_accounts=120, num_transactions=400, seed=4)
+        window = network.window_around_flag(7.0)
+        ring = network.fraud_rings[0]
+        for i, account in enumerate(ring[:-1]):
+            assert window.has_edge(account, ring[i + 1])
+
+    def test_case_study_recovers_planted_ring(self):
+        """The Section 6.9 workflow: SPG over the time window finds the ring."""
+        network = generate_transaction_network(
+            num_accounts=200, num_transactions=1000, ring_size=4, seed=5
+        )
+        payer, payee, _ = network.flagged_edge
+        window = network.window_around_flag(7.0)
+        result = build_spg(window, payee, payer, 5)
+        assert set(network.fraud_rings[0]) <= set(result.vertices) | {payer, payee}
+
+    def test_fraud_accounts_union(self):
+        network = generate_transaction_network(num_accounts=100, num_transactions=200, seed=6)
+        accounts = network.fraud_accounts()
+        assert len(accounts) == sum(len(r) for r in network.fraud_rings)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            generate_transaction_network(num_accounts=5, num_fraud_rings=3, ring_size=4)
+        with pytest.raises(DatasetError):
+            generate_transaction_network(ring_size=1)
+
+    def test_flag_required_for_window(self):
+        network = generate_transaction_network(
+            num_accounts=50, num_transactions=100, num_fraud_rings=0, seed=7
+        )
+        assert network.flagged_edge is None
+        with pytest.raises(DatasetError):
+            network.window_around_flag(5.0)

@@ -1,0 +1,155 @@
+"""Tests for the hop-constrained s-t simple path enumerators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validate import brute_force_paths, check_path
+from repro.enumeration import (
+    BCDFS,
+    EnumerationSPGBuilder,
+    JoinEnumerator,
+    NaiveDFS,
+    PathEnum,
+    TDFS,
+)
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, power_law_cluster
+
+ENUMERATORS = [NaiveDFS, TDFS, BCDFS, JoinEnumerator, PathEnum]
+
+
+def sorted_paths(paths):
+    return sorted(tuple(p) for p in paths)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("enumerator_class", ENUMERATORS)
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 3, 5, 6])
+    def test_random_graphs(self, enumerator_class, seed, k):
+        graph = erdos_renyi(10, 2.0, seed=seed)
+        expected = sorted_paths(brute_force_paths(graph, 0, 9, k))
+        result = enumerator_class(graph).enumerate(0, 9, k)
+        assert sorted_paths(result.paths) == expected
+        assert not result.truncated
+
+    @pytest.mark.parametrize("enumerator_class", ENUMERATORS)
+    def test_figure1_k4_paths(self, enumerator_class, figure1):
+        graph, builder = figure1
+        vid = builder.vertex_id
+        result = enumerator_class(graph).enumerate(vid("s"), vid("t"), 4)
+        labels = {
+            tuple(builder.vertex_label(v) for v in path) for path in result.paths
+        }
+        assert labels == {
+            ("s", "c", "t"),
+            ("s", "a", "c", "t"),
+            ("s", "c", "b", "t"),
+            ("s", "a", "c", "b", "t"),
+            ("s", "a", "h", "b", "t"),
+        }
+
+    @pytest.mark.parametrize("enumerator_class", ENUMERATORS)
+    def test_no_duplicates(self, enumerator_class):
+        graph = power_law_cluster(12, 2, seed=5)
+        result = enumerator_class(graph).enumerate(0, 11, 5)
+        assert len(result.paths) == len(set(result.paths))
+
+    @pytest.mark.parametrize("enumerator_class", ENUMERATORS)
+    def test_all_paths_are_valid(self, enumerator_class):
+        graph = erdos_renyi(12, 2.5, seed=9)
+        result = enumerator_class(graph).enumerate(0, 11, 5)
+        for path in result.paths:
+            assert check_path(graph, path, 0, 11, 5)
+
+    @pytest.mark.parametrize("enumerator_class", ENUMERATORS)
+    def test_unreachable_target(self, enumerator_class):
+        graph = DiGraph(4, [(0, 1), (2, 3)])
+        result = enumerator_class(graph).enumerate(0, 3, 4)
+        assert result.count == 0
+
+
+class TestResultObject:
+    def test_edges_union(self):
+        graph = DiGraph(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        result = NaiveDFS(graph).enumerate(0, 3, 2)
+        assert result.edges() == {(0, 1), (1, 3), (0, 2), (2, 3)}
+        assert result.vertices() == {0, 1, 2, 3}
+
+    def test_lengths_histogram(self):
+        graph = DiGraph(4, [(0, 3), (0, 1), (1, 3), (0, 2), (2, 3)])
+        result = NaiveDFS(graph).enumerate(0, 3, 2)
+        assert result.lengths_histogram() == {1: 1, 2: 2}
+
+    def test_count_paths_matches_enumerate(self):
+        graph = erdos_renyi(10, 2.0, seed=3)
+        enumerator = PathEnum(graph)
+        assert enumerator.count_paths(0, 9, 5) == len(enumerator.enumerate(0, 9, 5).paths)
+
+    def test_time_budget_truncates(self):
+        graph = erdos_renyi(30, 6.0, seed=1)
+        result = NaiveDFS(graph).enumerate(0, 29, 8, time_budget=0.0)
+        assert result.truncated or result.count == 0
+
+    def test_validation_errors(self):
+        graph = DiGraph(3, [(0, 1)])
+        with pytest.raises(QueryError):
+            NaiveDFS(graph).enumerate(0, 0, 3)
+        with pytest.raises(QueryError):
+            NaiveDFS(graph).enumerate(0, 1, 0)
+
+
+class TestPathEnumOptimizer:
+    def test_forced_strategies_agree(self):
+        graph = erdos_renyi(12, 2.5, seed=7)
+        dfs_paths = sorted_paths(PathEnum(graph, force_strategy="dfs").enumerate(0, 11, 5).paths)
+        join_paths = sorted_paths(PathEnum(graph, force_strategy="join").enumerate(0, 11, 5).paths)
+        assert dfs_paths == join_paths
+
+    def test_invalid_forced_strategy(self):
+        graph = DiGraph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            PathEnum(graph, force_strategy="magic")
+
+    def test_last_strategy_recorded(self):
+        graph = erdos_renyi(12, 2.5, seed=7)
+        enumerator = PathEnum(graph)
+        enumerator.enumerate(0, 11, 4)
+        assert enumerator.last_strategy in ("dfs", "join")
+
+
+class TestSpaceAccounting:
+    def test_join_uses_more_space_than_dfs_on_dense_graph(self):
+        graph = erdos_renyi(30, 5.0, seed=2)
+        join_result = JoinEnumerator(graph).enumerate(0, 29, 4)
+        dfs_result = NaiveDFS(graph).enumerate(0, 29, 4)
+        if join_result.count > 0:
+            assert join_result.space.peak >= dfs_result.space.peak
+
+
+class TestSPGViaEnumeration:
+    @pytest.mark.parametrize("enumerator_class", [JoinEnumerator, PathEnum])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_eve(self, enumerator_class, seed):
+        from repro import build_spg
+
+        graph = erdos_renyi(11, 2.0, seed=seed)
+        builder = EnumerationSPGBuilder(graph, enumerator_class)
+        for k in (3, 5):
+            baseline = builder.query(0, 10, k)
+            eve_result = build_spg(graph, 0, 10, k)
+            assert baseline.edges == eve_result.edges
+            assert baseline.exact
+
+    def test_name_mentions_enumerator(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        builder = EnumerationSPGBuilder(graph, PathEnum)
+        assert "PathEnum" in builder.name
+
+    def test_budget_marks_result_inexact(self):
+        graph = erdos_renyi(30, 6.0, seed=4)
+        builder = EnumerationSPGBuilder(graph, NaiveDFS, time_budget=0.0)
+        result = builder.query(0, 29, 8)
+        assert not result.exact or result.num_edges == 0

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) of EVE's core invariants.
+
+Random directed graphs are generated from edge lists; every property is
+checked against the brute-force oracle of Definition 2.1 or against the
+structural invariants proved in the paper.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import EVEConfig, build_spg
+from repro.analysis.validate import brute_force_spg
+from repro.core.distances import compute_distance_index
+from repro.core.essential import propagate_forward
+from repro.core.result import EdgeLabel
+from repro.graph.digraph import DiGraph
+from repro.khsq.khsq import KHSQPlus
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 9, max_edges: int = 26):
+    """Random directed graphs with at least two vertices."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return DiGraph(n, edges)
+
+
+@st.composite
+def graph_queries(draw):
+    """A graph plus a valid (s, t, k) query over it."""
+    graph = draw(small_graphs())
+    source = draw(st.integers(min_value=0, max_value=graph.num_vertices - 1))
+    target = draw(
+        st.integers(min_value=0, max_value=graph.num_vertices - 1).filter(
+            lambda v: v != source
+        )
+    )
+    k = draw(st.integers(min_value=1, max_value=7))
+    return graph, source, target, k
+
+
+class TestExactness:
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_eve_matches_brute_force(self, query):
+        graph, source, target, k = query
+        result = build_spg(graph, source, target, k)
+        assert result.edges == brute_force_spg(graph, source, target, k)
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_naive_config_matches_brute_force(self, query):
+        graph, source, target, k = query
+        result = build_spg(graph, source, target, k, config=EVEConfig.naive())
+        assert result.edges == brute_force_spg(graph, source, target, k)
+
+
+class TestStructuralInvariants:
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_answer_is_subset_of_upper_bound(self, query):
+        graph, source, target, k = query
+        result = build_spg(graph, source, target, k)
+        assert result.edges <= result.upper_bound_edges
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_upper_bound_subset_of_khsq_subgraph(self, query):
+        """SPGu_k is always contained in G^k_st (distance filter is weaker)."""
+        graph, source, target, k = query
+        result = build_spg(graph, source, target, k)
+        subgraph = KHSQPlus(graph).query(source, target, k)
+        assert result.upper_bound_edges <= subgraph.edges
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_definite_edges_belong_to_answer(self, query):
+        graph, source, target, k = query
+        result = build_spg(graph, source, target, k)
+        definite = {
+            edge for edge, label in result.labels.items() if label is EdgeLabel.DEFINITE
+        }
+        assert definite <= result.edges
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_monotone_in_k(self, query):
+        """SPG_k grows monotonically with the hop budget."""
+        graph, source, target, k = query
+        smaller = build_spg(graph, source, target, k).edges
+        larger = build_spg(graph, source, target, k + 1).edges
+        assert smaller <= larger
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_upper_bound_exact_below_five(self, query):
+        graph, source, target, k = query
+        k = min(k, 4)
+        result = build_spg(graph, source, target, k)
+        assert result.upper_bound_edges == result.edges
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_every_answer_edge_lies_on_a_valid_path(self, query):
+        """Soundness: each returned edge is on some k-hop s-t simple path."""
+        graph, source, target, k = query
+        result = build_spg(graph, source, target, k)
+        truth = brute_force_spg(graph, source, target, k)
+        for edge in result.edges:
+            assert edge in truth
+
+
+class TestEssentialVertexInvariants:
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_sets_shrink_with_level(self, query):
+        """EV*_{l+1} is always a subset of EV*_l (more paths, smaller core)."""
+        graph, source, target, k = query
+        index = propagate_forward(graph, source, target, k, prune=False)
+        for vertex in index.reached_vertices():
+            previous = None
+            for level in range(0, k):
+                current = index.get(vertex, level)
+                if current is None:
+                    continue
+                if previous is not None:
+                    assert current <= previous
+                previous = current
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_sets_contain_endpoints(self, query):
+        graph, source, target, k = query
+        index = propagate_forward(graph, source, target, k, prune=False)
+        for vertex in index.reached_vertices():
+            for level in range(0, k):
+                ev = index.get(vertex, level)
+                if ev is not None:
+                    assert source in ev
+                    assert vertex in ev
+                    assert target not in ev or vertex == target
+
+    @given(query=graph_queries())
+    @settings(**_SETTINGS)
+    def test_candidate_space_distances_exact(self, query):
+        """Adaptive search distances agree with single-directional BFS."""
+        graph, source, target, k = query
+        single = compute_distance_index(graph, source, target, k, strategy="single")
+        adaptive = compute_distance_index(graph, source, target, k, strategy="adaptive")
+        for vertex in single.candidate_vertices():
+            assert adaptive.dist_from_source(vertex) == single.dist_from_source(vertex)
+            assert adaptive.dist_to_target(vertex) == single.dist_to_target(vertex)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run end to end and print results."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    """Run one example in a subprocess and return its stdout."""
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=True,
+    )
+    return completed.stdout
+
+
+def test_examples_directory_contains_required_scripts():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "fraud_detection.py",
+        "relation_visualization.py",
+        "accelerate_enumeration.py",
+    } <= names
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "simple path graph" in output
+    assert "s -> c -> t" in output
+    assert "digraph" in output
+
+
+def test_fraud_detection():
+    output = run_example("fraud_detection.py")
+    assert "Flagged transaction" in output
+    assert "Recall on the planted ring: 100%" in output
+
+
+def test_relation_visualization_default_entities():
+    output = run_example("relation_visualization.py")
+    assert "Relationship graph between 'alice' and 'dave'" in output
+    assert "digraph" in output
+
+
+def test_relation_visualization_custom_entities():
+    output = run_example("relation_visualization.py", "bob", "erin", "5")
+    assert "Relationship graph between 'bob' and 'erin'" in output
+
+
+def test_accelerate_enumeration():
+    output = run_example("accelerate_enumeration.py")
+    assert "PathEnum on the full graph" in output
+    assert "EVE    -> PathEnum on SPG_k" in output
+
+
+def test_batch_fraud_screening():
+    output = run_example("batch_fraud_screening.py")
+    assert "Screened" in output
+    assert "Recall    vs planted rings" in output

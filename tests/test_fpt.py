@@ -1,0 +1,76 @@
+"""Tests for the FPT colour-coding machinery (Theorem 2.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validate import brute_force_paths, brute_force_spg
+from repro.exceptions import QueryError
+from repro.fpt import ColorCodingDetector, fpt_edge_in_spg, fpt_spg, subdivide_except
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, path_graph
+
+
+class TestSubdivision:
+    def test_counts(self):
+        graph = DiGraph(3, [(0, 1), (1, 2), (0, 2)])
+        auxiliary = subdivide_except(graph, (0, 2))
+        # |V'| = |V| + |E| - 1 and |E'| = 2|E| - 1 (Theorem 2.7).
+        assert auxiliary.num_vertices == 3 + 3 - 1
+        assert auxiliary.num_edges == 2 * 3 - 1
+        assert auxiliary.has_edge(0, 2)
+        assert not auxiliary.has_edge(0, 1)
+
+    def test_missing_edge_rejected(self):
+        graph = DiGraph(3, [(0, 1)])
+        with pytest.raises(QueryError):
+            subdivide_except(graph, (1, 2))
+
+
+class TestDetector:
+    def test_exact_detection_on_path(self):
+        graph = path_graph(5)
+        detector = ColorCodingDetector(graph, method="exact")
+        assert detector.exists_path(0, 4, 4)
+        assert not detector.exists_path(0, 4, 3)
+        assert not detector.exists_path(0, 4, 5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_matches_brute_force(self, seed):
+        graph = erdos_renyi(8, 1.8, seed=seed)
+        detector = ColorCodingDetector(graph, method="exact")
+        lengths = {len(p) - 1 for p in brute_force_paths(graph, 0, 7, 7)}
+        for length in range(1, 8):
+            assert detector.exists_path(0, 7, length) == (length in lengths)
+
+    def test_color_coding_finds_short_paths(self):
+        graph = path_graph(4)
+        detector = ColorCodingDetector(graph, method="color-coding", seed=1, trials=200)
+        assert detector.exists_path(0, 3, 3)
+        assert not detector.exists_path(0, 3, 2)
+
+    def test_degenerate_queries(self):
+        graph = path_graph(3)
+        detector = ColorCodingDetector(graph)
+        assert not detector.exists_path(0, 0, 2)
+        assert not detector.exists_path(0, 2, 0)
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(QueryError):
+            ColorCodingDetector(path_graph(3), method="quantum")
+
+
+class TestReduction:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fpt_spg_matches_brute_force(self, seed):
+        graph = erdos_renyi(7, 1.5, seed=seed)
+        for k in (2, 3, 4):
+            assert fpt_spg(graph, 0, 6, k, method="exact") == brute_force_spg(graph, 0, 6, k)
+
+    def test_single_edge_membership(self, diamond_graph):
+        assert fpt_edge_in_spg(diamond_graph, 0, 3, 2, (0, 1), method="exact")
+        assert fpt_edge_in_spg(diamond_graph, 0, 3, 1, (0, 3), method="exact")
+        assert not fpt_edge_in_spg(diamond_graph, 0, 3, 1, (0, 1), method="exact")
+
+    def test_absent_edge_is_never_member(self, diamond_graph):
+        assert not fpt_edge_in_spg(diamond_graph, 0, 3, 3, (3, 0), method="exact")

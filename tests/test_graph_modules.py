@@ -1,0 +1,185 @@
+"""Tests for the graph substrate helpers: builder, subgraph, io, generators, properties."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import DatasetError, GraphError
+from repro.graph.builder import GraphBuilder, build_graph
+from repro.graph.digraph import DiGraph
+from repro.graph import generators
+from repro.graph.io import load_graph, read_edge_list, save_graph, write_edge_list
+from repro.graph.properties import (
+    degree_histogram,
+    largest_scc_size,
+    reachable_set,
+    strongly_connected_components,
+    summarize,
+)
+from repro.graph.subgraph import edge_induced_subgraph, vertex_induced_subgraph
+
+
+class TestGraphBuilder:
+    def test_relabels_to_dense_ids(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        builder.add_edge("bob", "carol")
+        graph = builder.build()
+        assert graph.num_vertices == 3
+        assert builder.vertex_id("alice") == 0
+        assert builder.vertex_label(2) == "carol"
+
+    def test_self_loops_counted_and_dropped(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "a")
+        builder.add_edge("a", "b")
+        assert builder.dropped_self_loops == 1
+        assert builder.build().num_edges == 1
+
+    def test_unknown_label_and_id_raise(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            builder.vertex_id("zzz")
+        with pytest.raises(GraphError):
+            builder.vertex_label(99)
+
+    def test_build_graph_helper(self):
+        graph, builder = build_graph([("x", "y"), ("y", "z")], name="labelled")
+        assert graph.name == "labelled"
+        assert builder.label_mapping() == {"x": 0, "y": 1, "z": 2}
+
+    def test_counts_before_build(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("a", "b"), ("b", "c")])
+        assert builder.num_vertices == 3
+        assert builder.num_edges == 3  # duplicates collapse at build time
+        assert builder.build().num_edges == 2
+
+
+class TestSubgraphs:
+    def test_edge_induced_keeps_vertex_ids(self):
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        subgraph = edge_induced_subgraph(graph, [(1, 2), (2, 3)])
+        assert subgraph.num_vertices == graph.num_vertices
+        assert set(subgraph.edges()) == {(1, 2), (2, 3)}
+
+    def test_edge_induced_ignores_missing_edges(self):
+        graph = DiGraph(3, [(0, 1)])
+        subgraph = edge_induced_subgraph(graph, [(0, 1), (1, 2)])
+        assert set(subgraph.edges()) == {(0, 1)}
+
+    def test_vertex_induced(self):
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        subgraph = vertex_induced_subgraph(graph, [0, 1, 2])
+        assert set(subgraph.edges()) == {(0, 1), (1, 2)}
+
+
+class TestIO:
+    def test_roundtrip_edge_list(self, tmp_path: Path):
+        graph = DiGraph(4, [(0, 1), (1, 2), (2, 3)], name="rt")
+        path = tmp_path / "graph.txt"
+        written = save_graph(path, graph)
+        assert written == 3
+        loaded, builder = load_graph(path)
+        assert loaded.num_edges == 3
+        assert loaded.num_vertices == 4
+
+    def test_comments_and_gzip(self, tmp_path: Path):
+        path = tmp_path / "edges.txt.gz"
+        write_edge_list(path, [(0, 1), (1, 2)], header="demo graph\nsecond line")
+        edges = read_edge_list(path)
+        assert edges == [("0", "1"), ("1", "2")]
+
+    def test_timestamps(self, tmp_path: Path):
+        path = tmp_path / "temporal.txt"
+        path.write_text("# comment\n1 2 3.5\n2 3 4.0\n")
+        edges = read_edge_list(path, with_timestamps=True)
+        assert edges == [("1", "2", 3.5), ("2", "3", 4.0)]
+
+    def test_malformed_line_raises(self, tmp_path: Path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justone\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_missing_timestamp_raises(self, tmp_path: Path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, with_timestamps=True)
+
+
+class TestGenerators:
+    def test_erdos_renyi_density(self):
+        graph = generators.erdos_renyi(200, 3.0, seed=1)
+        assert graph.num_vertices == 200
+        assert abs(graph.num_edges - 600) <= 1
+
+    def test_erdos_renyi_deterministic(self):
+        a = generators.erdos_renyi(50, 2.0, seed=9)
+        b = generators.erdos_renyi(50, 2.0, seed=9)
+        assert a == b
+
+    def test_power_law_has_hubs(self):
+        graph = generators.power_law_cluster(300, 2, seed=3)
+        histogram = degree_histogram(graph, "in")
+        assert max(histogram) > 10  # some vertex attracts many edges
+
+    def test_community_graph_size(self):
+        graph = generators.community_graph(3, 5, 0.6, 2, seed=1)
+        assert graph.num_vertices == 15
+        assert graph.num_edges > 0
+
+    def test_layered_dag_is_acyclic(self):
+        graph = generators.layered_dag(4, 3, seed=0)
+        assert largest_scc_size(graph) == 1
+
+    def test_grid_graph_shape(self):
+        graph = generators.grid_graph(3, 4)
+        assert graph.num_vertices == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # right edges + down edges
+
+    def test_cycle_complete_star_path(self):
+        assert generators.cycle_graph(5).num_edges == 5
+        assert generators.complete_graph(4).num_edges == 12
+        assert generators.star_graph(6).num_edges == 6
+        assert generators.path_graph(6).num_edges == 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi(-1, 2.0)
+
+    def test_regular_out_degree(self):
+        graph = generators.random_regular_out(20, 3, seed=2)
+        assert all(graph.out_degree(u) == 3 for u in graph.vertices())
+
+
+class TestProperties:
+    def test_summary_row(self):
+        graph = DiGraph(4, [(0, 1), (0, 2), (0, 3)], name="starry")
+        summary = summarize(graph)
+        assert summary.max_out_degree == 3
+        assert summary.max_in_degree == 1
+        row = summary.as_row()
+        assert row["name"] == "starry"
+        assert row["|E|"] == 3
+
+    def test_scc_on_cycle_plus_tail(self):
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        components = strongly_connected_components(graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 1, 3]
+        assert largest_scc_size(graph) == 3
+
+    def test_reachable_set_bounded(self):
+        graph = generators.path_graph(6)
+        assert reachable_set(graph, 0, max_hops=2) == [0, 1, 2]
+        assert len(reachable_set(graph, 0)) == 6
+
+    def test_degree_histogram_validation(self):
+        graph = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            degree_histogram(graph, "sideways")

@@ -1,0 +1,100 @@
+"""Cross-module integration tests.
+
+These tests exercise the library the way the experiment harness and the
+examples do: dataset proxies -> query workloads -> several algorithms ->
+metrics, asserting that every component agrees with every other on the same
+queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EVE, build_spg
+from repro.analysis.metrics import coverage_ratio, redundant_ratio
+from repro.analysis.validate import brute_force_spg
+from repro.datasets import load_dataset
+from repro.enumeration import BCDFS, JoinEnumerator, PathEnum
+from repro.enumeration.spg_via_enumeration import EnumerationSPGBuilder
+from repro.khsq import KHSQPlus
+from repro.queries import random_reachable_queries
+from repro.viz import result_to_dot
+
+
+@pytest.fixture(scope="module")
+def proxy_graph():
+    """A small but non-trivial dataset proxy shared by the tests below."""
+    return load_dataset("ye", scale=0.08, seed=123)
+
+
+@pytest.fixture(scope="module")
+def workload(proxy_graph):
+    return random_reachable_queries(proxy_graph, 5, 4, seed=21)
+
+
+class TestAlgorithmsAgreeOnProxies:
+    def test_eve_vs_enumeration_baselines(self, proxy_graph, workload):
+        eve = EVE(proxy_graph)
+        for query in workload:
+            expected = eve.query(query.source, query.target, query.k).edges
+            for enumerator_class in (JoinEnumerator, PathEnum, BCDFS):
+                builder = EnumerationSPGBuilder(proxy_graph, enumerator_class)
+                result = builder.query(query.source, query.target, query.k)
+                assert result.edges == expected, enumerator_class.__name__
+
+    def test_eve_on_khsq_subgraph_gives_same_answer(self, proxy_graph, workload):
+        """Restricting EVE to G^k_st must not change the result."""
+        khsq = KHSQPlus(proxy_graph)
+        eve_full = EVE(proxy_graph)
+        for query in workload:
+            subgraph = khsq.query(query.source, query.target, query.k).to_graph(proxy_graph)
+            eve_restricted = EVE(subgraph)
+            full = eve_full.query(query.source, query.target, query.k).edges
+            restricted = eve_restricted.query(query.source, query.target, query.k).edges
+            assert full == restricted
+
+    def test_enumeration_on_spg_returns_all_paths(self, proxy_graph, workload):
+        """PathEnum restricted to SPG_k must find exactly the same paths."""
+        eve = EVE(proxy_graph)
+        for query in workload:
+            full_paths = sorted(PathEnum(proxy_graph).enumerate(
+                query.source, query.target, query.k
+            ).paths)
+            spg = eve.query(query.source, query.target, query.k).to_graph(proxy_graph)
+            restricted_paths = sorted(PathEnum(spg).enumerate(
+                query.source, query.target, query.k
+            ).paths)
+            assert full_paths == restricted_paths
+
+
+class TestMetricsOnProxies:
+    def test_ratios_are_consistent(self, proxy_graph, workload):
+        eve = EVE(proxy_graph)
+        for query in workload:
+            result = eve.query(query.source, query.target, query.k)
+            r_c = coverage_ratio(result.num_edges, proxy_graph.num_edges)
+            r_d = redundant_ratio(result.num_upper_bound_edges, result.num_edges)
+            assert 0.0 <= r_c <= 1.0
+            assert r_d >= 0.0
+            assert result.coverage_ratio(proxy_graph) == pytest.approx(r_c)
+            assert result.redundant_ratio() == pytest.approx(r_d)
+
+    def test_small_graph_oracle_agreement(self):
+        graph = load_dataset("tw", scale=0.03, seed=5)
+        workload = random_reachable_queries(graph, 4, 3, seed=2)
+        for query in workload:
+            result = build_spg(graph, query.source, query.target, query.k)
+            assert result.edges == brute_force_spg(
+                graph, query.source, query.target, query.k
+            )
+
+
+class TestEndToEndRendering:
+    def test_dot_export_of_proxy_query(self, proxy_graph, workload):
+        query = workload.queries[0]
+        result = build_spg(proxy_graph, query.source, query.target, query.k)
+        dot = result_to_dot(result, proxy_graph)
+        assert dot.startswith("digraph")
+        # Every answer edge appears in the DOT output.
+        for u, v in result.edges:
+            assert f"v{u} -> v{v}" in dot

@@ -1,0 +1,92 @@
+"""Tests for the k-hop s-t subgraph queries (KHSQ / KHSQ+)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_spg
+from repro.analysis.validate import brute_force_paths
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.khsq import KHSQ, KHSQPlus, k_hop_subgraph
+
+
+def reference_k_hop_subgraph(graph, source, target, k):
+    """Edges on at least one (not necessarily simple) s-t path within k hops."""
+    from repro.core.distances import bounded_bfs
+
+    dist_s = bounded_bfs(graph, source, k)
+    dist_t = bounded_bfs(graph, target, k, reverse=True)
+    return {
+        (u, v)
+        for (u, v) in graph.edges()
+        if u in dist_s and v in dist_t and dist_s[u] + 1 + dist_t[v] <= k
+    }
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 4, 6])
+    def test_matches_reference(self, seed, k):
+        graph = erdos_renyi(15, 2.0, seed=seed)
+        expected = reference_k_hop_subgraph(graph, 0, 14, k)
+        assert KHSQ(graph).query(0, 14, k).edges == expected
+        assert KHSQPlus(graph).query(0, 14, k).edges == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_khsq_and_khsq_plus_agree(self, seed):
+        graph = erdos_renyi(20, 2.5, seed=seed)
+        for k in (3, 5):
+            assert KHSQ(graph).query(0, 19, k).edges == KHSQPlus(graph).query(0, 19, k).edges
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_contains_simple_path_graph(self, seed):
+        graph = erdos_renyi(12, 2.0, seed=seed)
+        for k in (3, 5, 6):
+            subgraph = KHSQPlus(graph).query(0, 11, k)
+            spg = build_spg(graph, 0, 11, k)
+            assert spg.edges <= subgraph.edges
+
+    def test_may_contain_non_simple_path_edges(self):
+        # 0 -> 1 -> 2 -> 1 cycle feeding 1 -> 3: the edge (2, 1) only lies on
+        # non-simple 0-3 paths, so G^k_st keeps it while SPG_k drops it.
+        graph = DiGraph(4, [(0, 1), (1, 2), (2, 1), (1, 3)])
+        subgraph = KHSQPlus(graph).query(0, 3, 4)
+        spg = build_spg(graph, 0, 3, 4)
+        assert (2, 1) in subgraph.edges
+        assert (2, 1) not in spg.edges
+
+    def test_path_graph_window(self):
+        graph = path_graph(6)
+        result = k_hop_subgraph(graph, 0, 5, 5)
+        assert result.edges == set(graph.edges())
+        result_short = k_hop_subgraph(graph, 0, 5, 4)
+        assert result_short.edges == set()
+
+
+class TestResultObject:
+    def test_to_graph(self):
+        graph = path_graph(4)
+        result = k_hop_subgraph(graph, 0, 3, 3)
+        subgraph = result.to_graph(graph)
+        assert set(subgraph.edges()) == result.edges
+        assert result.num_edges == 3
+
+    def test_timing_and_space_recorded(self):
+        graph = erdos_renyi(30, 3.0, seed=2)
+        result = KHSQPlus(graph).query(0, 29, 4)
+        assert result.seconds >= 0.0
+        assert result.space.peak > 0
+
+    def test_optimized_flag_selects_class(self):
+        graph = path_graph(4)
+        assert k_hop_subgraph(graph, 0, 3, 3, optimized=True).algorithm == "KHSQ+"
+        assert k_hop_subgraph(graph, 0, 3, 3, optimized=False).algorithm == "KHSQ"
+
+    def test_validation(self):
+        graph = path_graph(4)
+        with pytest.raises(QueryError):
+            KHSQ(graph).query(1, 1, 3)
+        with pytest.raises(QueryError):
+            KHSQ(graph).query(0, 3, 0)

@@ -1,0 +1,193 @@
+"""Executable checks of the paper's theorems and worked examples.
+
+These tests pin the implementation to the formal statements of the paper
+(beyond end-to-end correctness): Observation 2.1, Lemma 3.3, Theorems 3.4,
+3.5, 4.3, 4.8, 4.9, 5.6/5.8 and the FPT reduction of Theorem 2.7.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import build_spg, build_upper_bound
+from repro.analysis.validate import brute_force_paths, brute_force_spg
+from repro.core.distances import compute_distance_index
+from repro.core.essential import propagate_backward, propagate_forward
+from repro.fpt import fpt_spg
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+
+
+def essential_from_definition(graph, start, end, level, excluded):
+    """EV*_l straight from Definition 3.1 (simple paths only)."""
+    sets = [
+        set(path)
+        for path in brute_force_paths(graph, start, end, level)
+        if excluded not in path
+    ]
+    if not sets:
+        return None
+    result = sets[0]
+    for s in sets[1:]:
+        result &= s
+    return frozenset(result)
+
+
+class TestObservation21:
+    """e(u,v) in SPG_k iff disjoint prefix/suffix simple paths exist."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_edge_membership_characterisation(self, seed):
+        graph = erdos_renyi(9, 2.0, seed=seed)
+        source, target, k = 0, 8, 5
+        answer = brute_force_spg(graph, source, target, k)
+        for u, v in graph.edges():
+            prefixes = [
+                p for p in brute_force_paths(graph, source, u, k - 1)
+                if target not in p
+            ] if u != source else [(source,)]
+            suffixes = [
+                p for p in brute_force_paths(graph, v, target, k - 1)
+                if source not in p
+            ] if v != target else [(target,)]
+            exists = any(
+                len(p) - 1 + len(q) - 1 + 1 <= k and not (set(p) & set(q))
+                for p in prefixes
+                for q in suffixes
+            )
+            assert exists == ((u, v) in answer), (u, v)
+
+
+class TestTheorem35:
+    """Path-based and simple-path-based essential vertices coincide."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_propagation_equals_definition(self, seed):
+        graph = erdos_renyi(8, 2.0, seed=seed)
+        source, target, k = 0, 7, 5
+        forward = propagate_forward(graph, source, target, k, prune=False)
+        for vertex in graph.vertices():
+            if vertex in (source, target):
+                continue
+            for level in range(1, k):
+                assert forward.get(vertex, level) == essential_from_definition(
+                    graph, source, vertex, level, target
+                )
+
+
+class TestLemma33AndTheorem34:
+    """Essential-vertex disjointness is necessary (not sufficient) for membership."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_failing_edge_filter_is_sound(self, seed):
+        graph = erdos_renyi(9, 2.2, seed=seed)
+        source, target, k = 0, 8, 6
+        forward = propagate_forward(graph, source, target, k, prune=False)
+        backward = propagate_backward(graph, source, target, k, prune=False)
+        answer = brute_force_spg(graph, source, target, k)
+        for u, v in answer:
+            # Lemma 3.3: some (k_f, k_b) pair must exist with disjoint sets.
+            found = False
+            for k_forward in range(0, k):
+                ev_forward = forward.get(u, k_forward)
+                if ev_forward is None:
+                    continue
+                for k_backward in range(0, k - k_forward):
+                    ev_backward = backward.get(v, k_backward)
+                    if ev_backward is None:
+                        continue
+                    if not (ev_forward & ev_backward):
+                        found = True
+                        break
+                if found:
+                    break
+            assert found, (u, v)
+
+    def test_counterexample_of_lemma_33(self, figure1):
+        """Edge e(b, a) satisfies the disjointness test at k=7 yet is not in SPG_7."""
+        graph, builder = figure1
+        vid = builder.vertex_id
+        s, t = vid("s"), vid("t")
+        forward = propagate_forward(graph, s, t, 7, prune=False)
+        backward = propagate_backward(graph, s, t, 7, prune=False)
+        ev_sb = forward.get(vid("b"), 3)
+        ev_at = backward.get(vid("a"), 2)
+        assert ev_sb == {s, vid("b")}
+        assert ev_at == {vid("a"), vid("c"), t}
+        assert not (ev_sb & ev_at)
+        assert (vid("b"), vid("a")) not in brute_force_spg(graph, s, t, 7)
+
+
+class TestTheorem43:
+    """Checking k_b = k - k_f - 1 subsumes all smaller k_b."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_largest_kb_is_enough(self, seed):
+        graph = erdos_renyi(9, 2.0, seed=seed)
+        source, target, k = 0, 8, 6
+        backward = propagate_backward(graph, source, target, k, prune=False)
+        for vertex in graph.vertices():
+            for k_backward in range(1, k - 1):
+                larger = backward.get(vertex, k_backward)
+                smaller = backward.get(vertex, k_backward - 1)
+                if smaller is None:
+                    continue
+                assert larger is not None
+                assert larger <= smaller
+
+
+class TestTheorem48And49:
+    def test_upper_bound_exact_for_k_le_4(self):
+        for seed in range(6):
+            graph = erdos_renyi(10, 2.4, seed=seed)
+            for k in (1, 2, 3, 4):
+                result = build_upper_bound(graph, 0, 9, k)
+                assert result.edges == brute_force_spg(graph, 0, 9, k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_first_and_last_two_edges_are_definite(self, seed):
+        """Theorem 4.9: every path's first/last two edges carry label 2."""
+        from repro.core.result import EdgeLabel
+
+        graph = erdos_renyi(10, 2.2, seed=seed)
+        source, target, k = 0, 9, 6
+        result = build_spg(graph, source, target, k)
+        for path in brute_force_paths(graph, source, target, k):
+            edges = list(zip(path, path[1:]))
+            boundary = set(edges[:2] + edges[-2:])
+            for edge in boundary:
+                assert result.labels[edge] is EdgeLabel.DEFINITE, (path, edge)
+
+
+class TestTheorem27Reduction:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_fpt_route_agrees_with_eve(self, seed):
+        graph = erdos_renyi(7, 1.6, seed=seed)
+        for k in (2, 3):
+            assert fpt_spg(graph, 0, 6, k, method="exact") == build_spg(graph, 0, 6, k).edges
+
+
+class TestNPHardnessGadget:
+    """The FSH-style gadget: deciding via SPG whether node-disjoint paths exist."""
+
+    def test_two_disjoint_paths_through_middle(self):
+        # s -> r -> t exists through vertex-disjoint halves.
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2), (2, 4)])
+        s, r, t = 0, 2, 4
+        found = any(
+            r in {v for edge in build_spg(graph, s, t, k).edges for v in edge}
+            for k in range(1, graph.num_vertices)
+        )
+        assert found
+
+    def test_shared_vertex_blocks_the_mapping(self):
+        # Every s->r path and r->t path must reuse vertex 1 -> no homeomorphism.
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 1), (1, 4)])
+        s, r, t = 0, 2, 4
+        found = any(
+            r in {v for edge in build_spg(graph, s, t, k).edges for v in edge}
+            for k in range(1, graph.num_vertices)
+        )
+        assert not found

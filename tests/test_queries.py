@@ -1,0 +1,121 @@
+"""Tests for k-hop reachability and workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.queries import (
+    distance_stratified_queries,
+    is_k_hop_reachable,
+    k_hop_distance,
+    random_reachable_queries,
+)
+from repro.queries.reachability import k_hop_distance as khd
+
+
+class TestKHopDistance:
+    def test_path_graph_exact_distance(self):
+        graph = path_graph(8)
+        assert k_hop_distance(graph, 0, 7, 10) == 7
+        assert k_hop_distance(graph, 0, 7, 7) == 7
+        assert k_hop_distance(graph, 0, 7, 6) is None
+
+    def test_same_vertex(self):
+        graph = path_graph(3)
+        assert k_hop_distance(graph, 1, 1, 3) == 0
+
+    def test_unreachable(self):
+        graph = DiGraph(4, [(0, 1), (2, 3)])
+        assert k_hop_distance(graph, 0, 3, 10) is None
+        assert not is_k_hop_reachable(graph, 0, 3, 10)
+
+    def test_direction_matters(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        assert k_hop_distance(graph, 0, 2, 5) == 2
+        assert k_hop_distance(graph, 2, 0, 5) is None
+
+    def test_negative_budget_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(QueryError):
+            k_hop_distance(graph, 0, 2, -1)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_bfs_reference(self, seed):
+        from repro.core.distances import bounded_bfs
+
+        graph = erdos_renyi(25, 2.0, seed=seed)
+        reference = bounded_bfs(graph, 0, 6)
+        for target in range(1, 25):
+            expected = reference.get(target)
+            assert k_hop_distance(graph, 0, target, 6) == expected
+
+
+class TestRandomReachableQueries:
+    def test_all_queries_are_reachable(self):
+        graph = erdos_renyi(40, 3.0, seed=1)
+        workload = random_reachable_queries(graph, 4, 10, seed=3)
+        assert len(workload) == 10
+        for query in workload:
+            assert query.source != query.target
+            assert is_k_hop_reachable(graph, query.source, query.target, 4)
+            assert query.distance is not None and query.distance <= 4
+
+    def test_deterministic_given_seed(self):
+        graph = erdos_renyi(40, 3.0, seed=1)
+        first = random_reachable_queries(graph, 4, 8, seed=5)
+        second = random_reachable_queries(graph, 4, 8, seed=5)
+        assert [q.as_tuple() for q in first] == [q.as_tuple() for q in second]
+
+    def test_zero_queries(self):
+        graph = erdos_renyi(10, 2.0, seed=0)
+        assert len(random_reachable_queries(graph, 3, 0)) == 0
+
+    def test_empty_graph_raises(self):
+        graph = DiGraph(5)
+        with pytest.raises(QueryError):
+            random_reachable_queries(graph, 3, 2)
+
+    def test_invalid_parameters(self):
+        graph = path_graph(4)
+        with pytest.raises(QueryError):
+            random_reachable_queries(graph, 0, 2)
+        with pytest.raises(QueryError):
+            random_reachable_queries(graph, 3, -1)
+
+    def test_workload_metadata(self):
+        graph = erdos_renyi(30, 3.0, seed=2)
+        workload = random_reachable_queries(graph, 3, 5, seed=1)
+        assert workload.graph_name == graph.name
+        assert workload.k == 3
+        assert len(list(iter(workload))) == 5
+
+
+class TestDistanceStratifiedQueries:
+    def test_buckets_have_correct_distances(self):
+        graph = erdos_renyi(60, 3.0, seed=4)
+        buckets = distance_stratified_queries(graph, 5, per_distance=3, seed=2)
+        assert set(buckets) == {1, 2, 3, 4, 5}
+        for distance, workload in buckets.items():
+            for query in workload:
+                assert k_hop_distance(graph, query.source, query.target, 5) == distance
+
+    def test_respects_requested_distances(self):
+        graph = erdos_renyi(60, 3.0, seed=4)
+        buckets = distance_stratified_queries(
+            graph, 6, per_distance=2, seed=2, distances=[1, 2]
+        )
+        assert set(buckets) == {1, 2}
+
+    def test_sparse_graph_returns_partial_buckets(self):
+        graph = path_graph(3)
+        buckets = distance_stratified_queries(graph, 4, per_distance=5, seed=0)
+        # Distances 3 and 4 cannot exist on a 3-vertex path.
+        assert all(len(w) == 0 for d, w in buckets.items() if d >= 3)
+
+    def test_invalid_per_distance(self):
+        graph = path_graph(4)
+        with pytest.raises(QueryError):
+            distance_stratified_queries(graph, 3, per_distance=-1)

@@ -1,0 +1,66 @@
+"""Tests for DOT / ASCII rendering."""
+
+from __future__ import annotations
+
+from repro import build_spg
+from repro.graph.digraph import DiGraph
+from repro.viz import render_adjacency, render_result_summary, result_to_dot, to_dot
+
+
+class TestDot:
+    def test_basic_structure(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)], name="toy")
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert "v0 -> v1;" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_highlighting(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        dot = to_dot(graph, highlight_vertices={0}, highlight_edges={(1, 2)})
+        assert "fillcolor=lightblue" in dot
+        assert "color=crimson" in dot
+
+    def test_custom_labels(self):
+        graph = DiGraph(2, [(0, 1)])
+        dot = to_dot(graph, label=lambda v: f"node{v}")
+        assert 'label="node0"' in dot
+
+    def test_isolated_vertices_are_hidden(self):
+        graph = DiGraph(5, [(0, 1)])
+        dot = to_dot(graph)
+        assert "v4" not in dot
+
+    def test_result_to_dot(self, figure1):
+        graph, builder = figure1
+        result = build_spg(graph, builder.vertex_id("s"), builder.vertex_id("t"), 4)
+        dot = result_to_dot(result, graph, label=builder.vertex_label)
+        assert 'label="s"' in dot
+        assert "penwidth" in dot
+
+
+class TestAscii:
+    def test_render_adjacency(self):
+        graph = DiGraph(3, [(0, 1), (0, 2)], name="toy")
+        text = render_adjacency(graph)
+        assert "toy" in text
+        assert "0 -> 1, 2" in text
+
+    def test_render_adjacency_truncates(self):
+        graph = DiGraph(30, [(i, i + 1) for i in range(29)])
+        text = render_adjacency(graph, max_vertices=5)
+        assert "more vertices" in text
+
+    def test_render_result_summary(self, figure1):
+        graph, builder = figure1
+        result = build_spg(graph, builder.vertex_id("s"), builder.vertex_id("t"), 4)
+        text = render_result_summary(result, label=builder.vertex_label)
+        assert "SPG_4" in text
+        assert "edges in answer" in text
+        assert "sample edges" in text
+
+    def test_render_empty_result(self):
+        graph = DiGraph(4, [(0, 1), (2, 3)])
+        result = build_spg(graph, 0, 3, 4)
+        text = render_result_summary(result)
+        assert "edges in answer      : 0" in text
