@@ -1,0 +1,113 @@
+"""Service-layer throughput: batch engine vs the sequential query loop.
+
+A serving deployment answers *workloads*, not single queries: rolling
+screening sweeps repeat queries (cache hits) and many sources are checked
+against the same hub (shared backward passes).  This benchmark times the
+seed's sequential ``build_spg`` loop against ``SPGEngine.run_batch`` on
+such a cached/target-grouped workload and asserts the acceptance bar of a
+>= 1.5x speedup at identical answers.  A second measurement isolates the
+planner's backward-pass reuse on a completely cold, deduplicated batch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.core.eve import build_spg
+from repro.exceptions import QueryError
+from repro.queries.workload import target_grouped_queries
+from repro.service import SPGEngine
+
+REPEAT_SWEEPS = 3
+
+
+def _grouped_workload(scale) -> Tuple[object, List[Tuple[int, int, int]]]:
+    """A target-grouped workload on the first dataset dense enough to host one."""
+    k = max(scale.hop_values)
+    shapes = [(4, 4), (3, 3), (2, 2)]
+    for code in scale.datasets:
+        graph = scale.load_graph(code)
+        for num_targets, per_target in shapes:
+            try:
+                workload = target_grouped_queries(
+                    graph, k, num_targets, per_target, seed=scale.seed
+                )
+            except QueryError:
+                continue
+            return graph, workload.as_batch()
+    raise QueryError("no scale dataset could host a target-grouped workload")
+
+
+def test_service_batch_speedup(benchmark, scale, show_table):
+    graph, unique_queries = _grouped_workload(scale)
+    # Rolling sweeps: the same workload arrives REPEAT_SWEEPS times.
+    workload = unique_queries * REPEAT_SWEEPS
+
+    started = time.perf_counter()
+    sequential = [build_spg(graph, s, t, k) for s, t, k in workload]
+    sequential_seconds = time.perf_counter() - started
+
+    engine = SPGEngine(graph, max_workers=1)
+    report = benchmark.pedantic(
+        lambda: engine.run_batch(workload), rounds=1, iterations=1
+    )
+    batch_seconds = report.wall_seconds
+
+    assert [outcome.edges for outcome in report] == [r.edges for r in sequential]
+    speedup = sequential_seconds / max(batch_seconds, 1e-9)
+    show_table(
+        [
+            {
+                "graph": graph.name,
+                "queries": len(workload),
+                "unique": len(unique_queries),
+                "mode": "sequential loop",
+                "seconds": round(sequential_seconds, 4),
+                "speedup": 1.0,
+            },
+            {
+                "graph": graph.name,
+                "queries": len(workload),
+                "unique": len(unique_queries),
+                "mode": "engine batch",
+                "seconds": round(batch_seconds, 4),
+                "speedup": round(speedup, 2),
+            },
+        ],
+        "Service throughput: batch engine vs sequential loop",
+    )
+    assert report.cache_hits >= len(unique_queries) * (REPEAT_SWEEPS - 1)
+    assert speedup >= 1.5, (
+        f"expected >= 1.5x speedup on a cached/target-grouped workload, "
+        f"got {speedup:.2f}x ({sequential_seconds:.4f}s vs {batch_seconds:.4f}s)"
+    )
+
+
+def test_service_cold_backward_reuse(benchmark, scale, show_table):
+    """Cold deduplicated batch: only the shared backward passes help."""
+    graph, unique_queries = _grouped_workload(scale)
+
+    started = time.perf_counter()
+    sequential = [build_spg(graph, s, t, k) for s, t, k in unique_queries]
+    sequential_seconds = time.perf_counter() - started
+
+    engine = SPGEngine(graph, cache_size=0, max_workers=1)
+    report = benchmark.pedantic(
+        lambda: engine.run_batch(unique_queries), rounds=1, iterations=1
+    )
+    assert [outcome.edges for outcome in report] == [r.edges for r in sequential]
+    assert report.reused_backward_passes > 0
+    show_table(
+        [
+            {
+                "graph": graph.name,
+                "queries": len(unique_queries),
+                "shared_groups": report.shared_groups,
+                "reused_passes": report.reused_backward_passes,
+                "sequential_s": round(sequential_seconds, 4),
+                "batch_s": round(report.wall_seconds, 4),
+            }
+        ],
+        "Service cold batch: shared backward passes",
+    )

@@ -11,6 +11,9 @@ Most users only need three entry points:
 * :class:`repro.graph.DiGraph` / :class:`repro.graph.GraphBuilder` — build a
   graph from edges (arbitrary labels supported through the builder);
 * :func:`repro.core.build_spg` — answer a ``<s, t, k>`` query with EVE;
+* :class:`repro.service.SPGEngine` — serve single queries, batches and
+  streams with result caching, shared-work batch planning and a concurrent
+  executor (also a CLI: ``python -m repro.service``);
 * :mod:`repro.enumeration` — hop-constrained simple path enumerators
   (PathEnum, JOIN, BC-DFS ...), which the computed simple path graph can
   accelerate by restricting their search space.
@@ -33,6 +36,7 @@ from repro.exceptions import (
 from repro.graph.builder import GraphBuilder, build_graph
 from repro.graph.digraph import DiGraph
 from repro.khsq.khsq import k_hop_subgraph
+from repro.service.engine import BatchReport, QueryOutcome, SPGEngine
 
 __version__ = "1.0.0"
 
@@ -50,6 +54,10 @@ __all__ = [
     "SimplePathGraphResult",
     "EdgeLabel",
     "k_hop_subgraph",
+    # the serving layer
+    "SPGEngine",
+    "QueryOutcome",
+    "BatchReport",
     # errors
     "ReproError",
     "GraphError",

@@ -37,7 +37,14 @@ from repro._types import Vertex
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
 
-__all__ = ["DistanceIndex", "compute_distance_index", "bounded_bfs", "DISTANCE_STRATEGIES"]
+__all__ = [
+    "DistanceIndex",
+    "BackwardDistanceMap",
+    "compute_distance_index",
+    "backward_distance_map",
+    "bounded_bfs",
+    "DISTANCE_STRATEGIES",
+]
 
 DISTANCE_STRATEGIES = ("single", "bidirectional", "adaptive")
 
@@ -301,16 +308,88 @@ def _two_phase(
     )
 
 
+# ----------------------------------------------------------------------
+# Shared backward passes (batch-query reuse)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackwardDistanceMap:
+    """Reusable backward distances ``dist(·, t)`` for one ``(t, k)`` pair.
+
+    The map holds the exact distance to ``t`` for *every* vertex within
+    ``k`` hops of ``t`` (a full reverse BFS), independent of any source.
+    A batch of queries sharing ``(t, k)`` therefore computes it once and
+    hands it to :func:`compute_distance_index` for each member, replacing
+    the per-query backward search entirely.  Treat ``distances`` as
+    read-only — it is shared across queries and threads.
+    """
+
+    target: Vertex
+    k: int
+    distances: Dict[Vertex, int]
+
+    def __len__(self) -> int:
+        return len(self.distances)
+
+
+def backward_distance_map(graph: DiGraph, target: Vertex, k: int) -> BackwardDistanceMap:
+    """Compute the source-independent backward pass for ``(target, k)``."""
+    graph.check_vertex(target)
+    if k < 1:
+        raise QueryError(f"hop constraint k must be >= 1, got {k}")
+    return BackwardDistanceMap(
+        target=target,
+        k=k,
+        distances=bounded_bfs(graph, target, k, reverse=True),
+    )
+
+
+def _from_shared_backward(
+    graph: DiGraph,
+    s: Vertex,
+    t: Vertex,
+    k: int,
+    shared: BackwardDistanceMap,
+) -> DistanceIndex:
+    """Build a :class:`DistanceIndex` from a precomputed backward pass.
+
+    The forward search is restricted to the candidate space: a neighbour at
+    depth ``d`` is kept only when ``d + dist(v, t) <= k``.  Every vertex
+    admitted this way is a true candidate, and its restricted distance is
+    exact because all vertices on a shortest ``s``-``v`` path of a candidate
+    ``v`` are themselves candidates (the same argument as the restricted
+    extension of bi-directional search), so the index satisfies the usual
+    contract: exact distances on the whole candidate space.
+    """
+    forward = bounded_bfs(
+        graph, s, k, reverse=False, allowed=shared.distances, allowed_budget=k
+    )
+    return DistanceIndex(
+        source=s,
+        target=t,
+        k=k,
+        from_source=forward,
+        to_target=shared.distances,
+        explored_vertices=len(forward),
+        strategy="shared-backward",
+    )
+
+
 def compute_distance_index(
     graph: DiGraph,
     source: Vertex,
     target: Vertex,
     k: int,
     strategy: str = "adaptive",
+    shared_backward: Optional[BackwardDistanceMap] = None,
 ) -> DistanceIndex:
     """Compute the :class:`DistanceIndex` for a query ``<s, t, k>``.
 
-    ``strategy`` must be one of :data:`DISTANCE_STRATEGIES`.
+    ``strategy`` must be one of :data:`DISTANCE_STRATEGIES`.  When
+    ``shared_backward`` (a :func:`backward_distance_map` for the same target
+    with hop budget ``>= k``) is given, the backward search is skipped
+    entirely and only a restricted forward search runs; ``strategy`` is then
+    ignored.  This is the batch-query reuse hook used by
+    :class:`repro.service.SPGEngine`.
     """
     graph.check_vertex(source)
     graph.check_vertex(target)
@@ -322,6 +401,18 @@ def compute_distance_index(
         raise QueryError(
             f"unknown distance strategy {strategy!r}; expected one of {DISTANCE_STRATEGIES}"
         )
+    if shared_backward is not None:
+        if shared_backward.target != target:
+            raise QueryError(
+                f"shared backward pass was built for target {shared_backward.target}, "
+                f"query targets {target}"
+            )
+        if shared_backward.k < k:
+            raise QueryError(
+                f"shared backward pass covers k={shared_backward.k} hops, "
+                f"query needs k={k}"
+            )
+        return _from_shared_backward(graph, source, target, k, shared_backward)
     if strategy == "single":
         return _single_directional(graph, source, target, k)
     return _two_phase(graph, source, target, k, adaptive=(strategy == "adaptive"))

@@ -28,7 +28,11 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro._types import Vertex
-from repro.core.distances import DISTANCE_STRATEGIES, compute_distance_index
+from repro.core.distances import (
+    DISTANCE_STRATEGIES,
+    BackwardDistanceMap,
+    compute_distance_index,
+)
 from repro.core.essential import propagate_backward, propagate_forward
 from repro.core.labeling import compute_upper_bound
 from repro.core.result import PhaseStats, SimplePathGraphResult
@@ -98,8 +102,22 @@ class EVE:
         self.config = config or EVEConfig()
 
     # ------------------------------------------------------------------
-    def query(self, source: Vertex, target: Vertex, k: int) -> SimplePathGraphResult:
-        """Return ``SPG_k(source, target)`` (exact unless ``verify=False``)."""
+    def query(
+        self,
+        source: Vertex,
+        target: Vertex,
+        k: int,
+        *,
+        shared_backward: Optional[BackwardDistanceMap] = None,
+    ) -> SimplePathGraphResult:
+        """Return ``SPG_k(source, target)`` (exact unless ``verify=False``).
+
+        ``shared_backward`` optionally supplies a precomputed backward
+        distance pass for ``(target, k)`` (see
+        :func:`repro.core.distances.backward_distance_map`), letting a batch
+        of queries with a common target amortise that phase.  The answer is
+        identical with or without it.
+        """
         self._validate(source, target, k)
         config = self.config
         space = SpaceMeter()
@@ -107,7 +125,12 @@ class EVE:
 
         started = time.perf_counter()
         distances = compute_distance_index(
-            self.graph, source, target, k, strategy=config.distance_strategy
+            self.graph,
+            source,
+            target,
+            k,
+            strategy=config.distance_strategy,
+            shared_backward=shared_backward,
         )
         space.allocate(distances.size(), category="distances")
         phases.distance_seconds = time.perf_counter() - started

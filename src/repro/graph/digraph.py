@@ -20,6 +20,8 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
+from struct import pack
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro._types import Edge, Vertex
@@ -50,7 +52,7 @@ class DiGraph:
     [1, 2]
     """
 
-    __slots__ = ("_n", "_m", "_out", "_in", "_edge_set", "name")
+    __slots__ = ("_n", "_m", "_out", "_in", "_edge_set", "_fingerprint", "name")
 
     def __init__(
         self,
@@ -81,6 +83,7 @@ class DiGraph:
         self._in = in_
         self._edge_set = edge_set
         self._m = len(edge_set)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -157,6 +160,25 @@ class DiGraph:
         if self._n == 0:
             return 0.0
         return self._m / self._n
+
+    def fingerprint(self) -> str:
+        """Return a stable content fingerprint of ``(num_vertices, edge_set)``.
+
+        Two graphs share a fingerprint exactly when they are equal as graphs
+        (same vertex count and edge set), regardless of ``name`` or insertion
+        order.  The digest is computed once and cached — the graph is
+        immutable — so repeated calls are O(1).  The service layer keys its
+        result caches on this value, which makes cache invalidation on a
+        graph swap automatic: a different graph can never serve stale
+        entries.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(pack("<q", self._n))
+            for edge in sorted(self._edge_set):
+                hasher.update(pack("<qq", *edge))
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -13,6 +13,8 @@ from repro.queries.workload import (
     QueryWorkload,
     distance_stratified_queries,
     random_reachable_queries,
+    target_grouped_queries,
+    workloads_to_batch,
 )
 
 __all__ = [
@@ -22,4 +24,6 @@ __all__ = [
     "k_hop_distance",
     "random_reachable_queries",
     "distance_stratified_queries",
+    "target_grouped_queries",
+    "workloads_to_batch",
 ]

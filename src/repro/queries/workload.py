@@ -16,14 +16,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro._types import Vertex
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
 from repro.queries.reachability import k_hop_distance
 
-__all__ = ["Query", "QueryWorkload", "random_reachable_queries", "distance_stratified_queries"]
+__all__ = [
+    "Query",
+    "QueryWorkload",
+    "random_reachable_queries",
+    "distance_stratified_queries",
+    "target_grouped_queries",
+    "workloads_to_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +60,14 @@ class QueryWorkload:
 
     def __iter__(self):
         return iter(self.queries)
+
+    def as_batch(self) -> List[Tuple[Vertex, Vertex, int]]:
+        """Return the workload as ``(s, t, k)`` triples.
+
+        Adapter for the service layer:
+        ``SPGEngine.run_batch(workload.as_batch())``.
+        """
+        return [query.as_tuple() for query in self.queries]
 
 
 def random_reachable_queries(
@@ -155,3 +170,83 @@ def distance_stratified_queries(
         d: QueryWorkload(graph_name=graph.name, k=k, queries=bucket)
         for d, bucket in buckets.items()
     }
+
+
+def target_grouped_queries(
+    graph: DiGraph,
+    k: int,
+    num_targets: int,
+    sources_per_target: int,
+    seed: int = 0,
+    max_attempts_factor: int = 200,
+) -> QueryWorkload:
+    """Draw queries where many sources share few targets.
+
+    This is the shape of production screening workloads (many candidate
+    accounts checked against the same hub) and the best case for the
+    service layer's batch planner, which computes the backward pass once
+    per ``(target, k)`` group.  Targets are drawn among vertices with at
+    least one in-edge; sources are found by random backward walks of length
+    ``<= k`` and validated with the exact k-hop reachability test.  Targets
+    that cannot produce ``sources_per_target`` distinct sources are skipped,
+    and a :class:`QueryError` is raised when the graph cannot fill
+    ``num_targets`` groups.
+    """
+    if num_targets < 0 or sources_per_target < 0:
+        raise QueryError("num_targets and sources_per_target must be non-negative")
+    if k < 1:
+        raise QueryError(f"hop constraint k must be >= 1, got {k}")
+    rng = random.Random(seed)
+    targets = [v for v in graph.vertices() if graph.in_degree(v) > 0]
+    if not targets and num_targets * sources_per_target > 0:
+        raise QueryError(f"graph {graph.name!r} has no edges; cannot generate queries")
+    rng.shuffle(targets)
+    queries: List[Query] = []
+    groups_filled = 0
+    for target in targets:
+        if groups_filled >= num_targets:
+            break
+        found: List[Query] = []
+        seen_sources = set()
+        attempts = 0
+        max_attempts = max(sources_per_target * max_attempts_factor, 100)
+        while len(found) < sources_per_target and attempts < max_attempts:
+            attempts += 1
+            current = target
+            steps = rng.randint(1, k)
+            for _ in range(steps):
+                neighbors = graph.in_neighbors(current)
+                if not neighbors:
+                    break
+                current = neighbors[rng.randrange(len(neighbors))]
+            source = current
+            if source == target or source in seen_sources:
+                continue
+            distance = k_hop_distance(graph, source, target, k)
+            if distance is None:
+                continue
+            seen_sources.add(source)
+            found.append(Query(source=source, target=target, k=k, distance=distance))
+        if len(found) == sources_per_target:
+            queries.extend(found)
+            groups_filled += 1
+    if groups_filled < num_targets:
+        raise QueryError(
+            f"could only fill {groups_filled}/{num_targets} target groups "
+            f"on graph {graph.name!r} (k={k}, {sources_per_target} sources each)"
+        )
+    return QueryWorkload(graph_name=graph.name, k=k, queries=queries)
+
+
+def workloads_to_batch(
+    workloads: Iterable[QueryWorkload],
+) -> List[Tuple[Vertex, Vertex, int]]:
+    """Concatenate several workloads into one ``(s, t, k)`` batch.
+
+    Useful for serving mixed-``k`` traffic through one
+    ``SPGEngine.run_batch`` call; the planner still groups by ``(t, k)``.
+    """
+    batch: List[Tuple[Vertex, Vertex, int]] = []
+    for workload in workloads:
+        batch.extend(workload.as_batch())
+    return batch

@@ -1,0 +1,46 @@
+"""repro.service — a concurrent, caching batch query engine for SPG workloads.
+
+The core library answers one ``<s, t, k>`` query at a time, cold.  Real
+deployments (the paper's fraud-screening motivation) issue *batches* of
+queries against one mostly-static graph, which is exactly the shape a
+serving layer exploits.  This subsystem layers three things on top of
+:class:`repro.core.eve.EVE` without changing any answer:
+
+* a **result cache** (:class:`ResultCache`) — LRU keyed on
+  ``(s, t, k, config, graph fingerprint)``, so repeated queries are free and
+  a swapped graph can never serve stale entries;
+* a **batch planner** (:func:`plan_batch`) — groups queries sharing
+  ``(t, k)`` so the backward distance pass is computed once per group and
+  reused via the hooks in :mod:`repro.core.distances`;
+* a **concurrent executor** (:func:`run_tasks`) — a thread pool with
+  deterministic result ordering and per-query error isolation.
+
+:class:`SPGEngine` ties them together and keeps :class:`EngineStats`
+(hit rate, latency quantiles, queries served).  The subsystem also ships a
+command line (``python -m repro.service``) that loads a dataset, reads
+JSON-lines queries from a file or stdin, and emits JSON results.
+"""
+
+from repro.service.cache import CacheKey, ResultCache, make_cache_key
+from repro.service.engine import BatchReport, QueryOutcome, SPGEngine
+from repro.service.executor import TaskError, default_worker_count, run_tasks
+from repro.service.planner import BatchPlan, PlannedQuery, QueryGroup, plan_batch
+from repro.service.stats import EngineStats, LatencyWindow
+
+__all__ = [
+    "SPGEngine",
+    "QueryOutcome",
+    "BatchReport",
+    "ResultCache",
+    "CacheKey",
+    "make_cache_key",
+    "BatchPlan",
+    "QueryGroup",
+    "PlannedQuery",
+    "plan_batch",
+    "run_tasks",
+    "TaskError",
+    "default_worker_count",
+    "EngineStats",
+    "LatencyWindow",
+]

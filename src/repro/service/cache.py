@@ -1,0 +1,115 @@
+"""LRU result cache keyed on query, config and graph fingerprint.
+
+Results are immutable-by-convention (:class:`SimplePathGraphResult` objects
+are shared between hits), so the cache hands out the stored object directly
+— callers must not mutate it.  Including the graph fingerprint in the key
+(:func:`repro.graph.digraph.DiGraph.fingerprint`) makes invalidation
+automatic: after a graph swap or rebuild, old entries can never match and
+simply age out of the LRU.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro._types import Vertex
+from repro.core.eve import EVEConfig
+from repro.core.result import SimplePathGraphResult
+
+__all__ = ["CacheKey", "make_cache_key", "ResultCache"]
+
+#: ``(source, target, k, config, graph_fingerprint)``
+CacheKey = Tuple[Vertex, Vertex, int, EVEConfig, str]
+
+
+def make_cache_key(
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    config: EVEConfig,
+    graph_fingerprint: str,
+) -> CacheKey:
+    """Build the cache key for one query against one graph + config.
+
+    :class:`EVEConfig` is a frozen dataclass, so it participates directly;
+    two engines with different ablation switches never share entries (their
+    results can legitimately differ when ``verify=False``).
+    """
+    return (source, target, k, config, graph_fingerprint)
+
+
+class ResultCache:
+    """A thread-safe LRU cache of :class:`SimplePathGraphResult` objects."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, SimplePathGraphResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[SimplePathGraphResult]:
+        """Return the cached result for ``key`` or ``None`` (counts hit/miss)."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: CacheKey, result: SimplePathGraphResult) -> None:
+        """Insert (or refresh) ``key``, evicting the least recently used."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Return a point-in-time dictionary view of the counters."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

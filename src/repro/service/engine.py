@@ -1,0 +1,471 @@
+"""The SPG serving engine: cache + batch planner + concurrent executor.
+
+:class:`SPGEngine` owns one :class:`~repro.graph.digraph.DiGraph` and one
+:class:`~repro.core.eve.EVEConfig` and answers single queries
+(:meth:`SPGEngine.query`), batches (:meth:`SPGEngine.run_batch`) and
+streamed workloads (:meth:`SPGEngine.run_stream`).  Three guarantees hold
+regardless of cache state, planning or parallelism:
+
+* **identical answers** — every result equals what a cold per-query
+  :func:`repro.core.eve.build_spg` on the same graph/config returns;
+* **deterministic ordering** — ``run_batch`` returns outcomes in input
+  order, whatever the thread pool does;
+* **error isolation** — one bad query (unknown vertex, ``s == t``, ...)
+  yields an errored :class:`QueryOutcome`; the rest of the batch is
+  unaffected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro._types import Edge, Vertex
+from repro.core.distances import backward_distance_map
+from repro.core.eve import EVE, EVEConfig
+from repro.core.result import SimplePathGraphResult
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.queries.workload import Query
+from repro.service.cache import CacheKey, ResultCache, make_cache_key
+from repro.service.executor import TaskError, run_tasks
+from repro.service.planner import QueryGroup, plan_batch
+from repro.service.stats import EngineStats
+
+__all__ = ["QueryOutcome", "BatchReport", "SPGEngine"]
+
+QueryLike = object  # (s, t, k) tuple/list, Query, or {"source", "target", "k"} mapping
+
+
+@dataclass
+class QueryOutcome:
+    """The outcome of one query inside a batch.
+
+    Exactly one of ``result`` / ``error`` is set.  ``cached`` covers both
+    engine-cache hits and in-batch deduplication (the same query appearing
+    twice in one batch is computed once).
+    """
+
+    source: Vertex
+    target: Vertex
+    k: int
+    result: Optional[SimplePathGraphResult] = None
+    error: Optional[str] = None
+    cached: bool = False
+    reused_backward: bool = False
+    latency_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def edges(self) -> Set[Edge]:
+        """The answer edge set (empty for errored queries)."""
+        return self.result.edges if self.result is not None else set()
+
+
+@dataclass
+class BatchReport:
+    """Outcomes of one batch, in input order, plus plan/cache accounting."""
+
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    planned_groups: int = 0
+    shared_groups: int = 0
+    reused_backward_passes: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[QueryOutcome]:
+        return iter(self.outcomes)
+
+    def results(self) -> List[Optional[SimplePathGraphResult]]:
+        """Per-query results in input order (``None`` for errored queries)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+
+class SPGEngine:
+    """A serving engine for SPG queries over one (mostly static) graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve; swap it later with :meth:`set_graph`.
+    config:
+        EVE tuning switches shared by every query this engine answers.
+    cache_size:
+        Maximum LRU entries; ``0`` disables the result cache entirely.
+    max_workers:
+        Default thread-pool size for batches (``None`` = CPU count, capped).
+        Pure-Python EVE is GIL-bound, so the wins come from caching and
+        shared planning; the pool mainly keeps large heterogeneous batches
+        responsive and exercises the same code paths an async/process
+        backend will use.
+    min_group_size:
+        Smallest ``(target, k)`` group that precomputes a shared backward
+        pass (must be >= 2).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: Optional[EVEConfig] = None,
+        *,
+        cache_size: int = 1024,
+        max_workers: Optional[int] = None,
+        min_group_size: int = 2,
+        latency_window: int = 4096,
+    ) -> None:
+        self._graph = graph
+        self._config = config or EVEConfig()
+        self._cache = ResultCache(cache_size) if cache_size > 0 else None
+        self._stats = EngineStats(latency_window)
+        self._max_workers = max_workers
+        self._min_group_size = min_group_size
+        self._swap_lock = Lock()
+        # Validate eagerly so a bad value fails at construction time.
+        plan_batch([], min_group_size=min_group_size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        return self._graph
+
+    @property
+    def config(self) -> EVEConfig:
+        return self._config
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._stats
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Engine counters plus cache counters, as one JSON-friendly dict."""
+        snapshot = self._stats.snapshot()
+        snapshot["cache"] = self._cache.stats() if self._cache is not None else None
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Graph lifecycle
+    # ------------------------------------------------------------------
+    def set_graph(self, graph: DiGraph, *, clear_cache: bool = False) -> None:
+        """Swap the served graph.
+
+        Cache entries are keyed on the graph fingerprint, so entries of the
+        old graph can never answer queries against the new one — they age
+        out of the LRU naturally.  Pass ``clear_cache=True`` to drop them
+        immediately instead (frees memory; swapping *back* to an equal
+        graph then starts cold).
+        """
+        with self._swap_lock:
+            self._graph = graph
+            if clear_cache and self._cache is not None:
+                self._cache.clear()
+
+    def clear_cache(self) -> None:
+        """Drop every cached result."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Single queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: Vertex,
+        target: Vertex,
+        k: int,
+        *,
+        use_cache: bool = True,
+    ) -> SimplePathGraphResult:
+        """Answer one query through the cache; exceptions propagate."""
+        graph = self._graph
+        key = None
+        if use_cache and self._cache is not None:
+            key = make_cache_key(source, target, k, self._config, graph.fingerprint())
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._stats.record_query(0.0, cached=True)
+                return hit
+        started = time.perf_counter()
+        try:
+            result = EVE(graph, self._config).query(source, target, k)
+        except Exception:
+            self._stats.record_query(
+                time.perf_counter() - started, cached=False, error=True
+            )
+            raise
+        self._stats.record_query(time.perf_counter() - started, cached=False)
+        if key is not None:
+            self._cache.put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> BatchReport:
+        """Answer a batch of queries with caching and shared-work planning.
+
+        ``queries`` may hold ``(s, t, k)`` tuples,
+        :class:`repro.queries.workload.Query` objects, or mappings with
+        ``source`` / ``target`` / ``k`` keys.  Outcomes come back in input
+        order; per-query failures — including malformed entries that cannot
+        be normalised — are isolated into errored outcomes.
+        """
+        started = time.perf_counter()
+        raw_queries = list(queries)
+        graph = self._graph
+        fingerprint = graph.fingerprint()
+        workers = self._max_workers if max_workers is None else max_workers
+
+        normalized: List[Optional[Tuple[Vertex, Vertex, int]]] = []
+        outcomes: List[Optional[QueryOutcome]] = [None] * len(raw_queries)
+        for index, query in enumerate(raw_queries):
+            try:
+                normalized.append(self._normalize(query))
+            except QueryError as exc:
+                # Malformed queries are isolated like any other bad query.
+                normalized.append(None)
+                source, target, k = self._raw_fields(query)
+                outcomes[index] = QueryOutcome(
+                    source=source, target=target, k=k, error=str(exc)
+                )
+
+        pending: Dict[CacheKey, List[int]] = {}
+        for index, entry in enumerate(normalized):
+            if entry is None:
+                continue
+            source, target, k = entry
+            key = make_cache_key(source, target, k, self._config, fingerprint)
+            if use_cache and self._cache is not None:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    outcomes[index] = QueryOutcome(
+                        source=source, target=target, k=k, result=hit, cached=True
+                    )
+                    continue
+            pending.setdefault(key, []).append(index)
+
+        # One computation per distinct uncached query; duplicates are filled
+        # from the first occurrence afterwards.
+        primaries: List[Tuple[CacheKey, int]] = [
+            (key, indices[0]) for key, indices in pending.items()
+        ]
+        plan = plan_batch(
+            [normalized[index] for _, index in primaries],
+            min_group_size=self._min_group_size,
+        )
+        tasks = [
+            (lambda group=group: self._run_group(graph, group)) for group in plan.groups
+        ]
+        group_results = run_tasks(tasks, max_workers=workers)
+
+        for group, group_result in zip(plan.groups, group_results):
+            if isinstance(group_result, TaskError):
+                # Defensive: _run_group isolates per-query errors itself, so
+                # this only fires on unexpected failures — blame every query
+                # of the group rather than dropping the batch.
+                group_result = [
+                    (planned.index, None, group_result.error, 0.0, False)
+                    for planned in group.queries
+                ]
+            for position, result, exc, latency, reused in group_result:
+                key, outcome_index = primaries[position]
+                source, target, k = normalized[outcome_index]
+                if exc is not None:
+                    outcome = QueryOutcome(
+                        source=source,
+                        target=target,
+                        k=k,
+                        error=f"{type(exc).__name__}: {exc}",
+                        reused_backward=reused,
+                        latency_seconds=latency,
+                    )
+                else:
+                    outcome = QueryOutcome(
+                        source=source,
+                        target=target,
+                        k=k,
+                        result=result,
+                        reused_backward=reused,
+                        latency_seconds=latency,
+                    )
+                    if use_cache and self._cache is not None:
+                        self._cache.put(key, result)
+                outcomes[outcome_index] = outcome
+                for duplicate_index in pending[key][1:]:
+                    # Duplicates of a successful primary are served without
+                    # recomputation (a hit); duplicates of a failed one
+                    # repeat the error and must not inflate the hit rate.
+                    outcomes[duplicate_index] = QueryOutcome(
+                        source=source,
+                        target=target,
+                        k=k,
+                        result=result,
+                        error=outcome.error,
+                        cached=outcome.error is None,
+                        reused_backward=reused,
+                    )
+
+        report = BatchReport(
+            outcomes=[outcome for outcome in outcomes if outcome is not None],
+            wall_seconds=time.perf_counter() - started,
+            planned_groups=len(plan.groups),
+            shared_groups=plan.num_shared_groups,
+            reused_backward_passes=plan.reused_backward_passes,
+        )
+        for outcome in report.outcomes:
+            self._stats.record_query(
+                outcome.latency_seconds,
+                cached=outcome.cached,
+                error=not outcome.ok,
+                reused_backward=outcome.reused_backward,
+            )
+            if outcome.cached:
+                report.cache_hits += 1
+            if not outcome.ok:
+                report.errors += 1
+        self._stats.record_batch()
+        return report
+
+    def run_stream(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        batch_size: int = 64,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> Iterator[QueryOutcome]:
+        """Serve an unbounded query stream in bounded-memory chunks.
+
+        Outcomes are yielded in input order; each chunk of ``batch_size``
+        queries goes through the full batch pipeline (cache, planner,
+        executor), so a stream with repeated or target-grouped queries gets
+        the same wins as an explicit batch.
+        """
+        if batch_size < 1:
+            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+        chunk: List[QueryLike] = []
+        for query in queries:
+            chunk.append(query)
+            if len(chunk) >= batch_size:
+                yield from self.run_batch(
+                    chunk, max_workers=max_workers, use_cache=use_cache
+                )
+                chunk = []
+        if chunk:
+            yield from self.run_batch(
+                chunk, max_workers=max_workers, use_cache=use_cache
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run_group(
+        self, graph: DiGraph, group: QueryGroup
+    ) -> List[Tuple[int, Optional[SimplePathGraphResult], Optional[BaseException], float, bool]]:
+        """Run one planned group sequentially, isolating per-query errors.
+
+        Returns ``(plan position, result, exception, latency, reused)``
+        tuples.  The shared backward pass is computed once for groups the
+        planner marked ``shared``; when that precomputation itself fails
+        (e.g. the common target is not a vertex), each query falls through
+        to the cold path and reports the error individually.
+        """
+        shared = None
+        if group.shared:
+            try:
+                shared = backward_distance_map(graph, group.target, group.k)
+            except Exception:
+                shared = None
+        engine = EVE(graph, self._config)
+        out: List[
+            Tuple[int, Optional[SimplePathGraphResult], Optional[BaseException], float, bool]
+        ] = []
+        for planned in group.queries:
+            reused = shared is not None
+            query_started = time.perf_counter()
+            try:
+                result = engine.query(
+                    planned.source, planned.target, planned.k, shared_backward=shared
+                )
+            except Exception as exc:  # noqa: BLE001 - per-query isolation
+                out.append(
+                    (planned.index, None, exc, time.perf_counter() - query_started, reused)
+                )
+            else:
+                out.append(
+                    (planned.index, result, None, time.perf_counter() - query_started, reused)
+                )
+        return out
+
+    @staticmethod
+    def _normalize(query: QueryLike) -> Tuple[Vertex, Vertex, int]:
+        """Coerce one query-like object to an ``(s, t, k)`` integer tuple.
+
+        Raises :class:`QueryError` (never a bare ``ValueError``) so
+        ``run_batch`` can isolate malformed queries per entry.
+        """
+        try:
+            if isinstance(query, Query):
+                return (int(query.source), int(query.target), int(query.k))
+            if isinstance(query, dict):
+                try:
+                    return (
+                        int(query["source"]),
+                        int(query["target"]),
+                        int(query["k"]),
+                    )
+                except KeyError as exc:
+                    raise QueryError(
+                        f"query mapping needs source/target/k keys, got {sorted(query)}"
+                    ) from exc
+            if isinstance(query, (tuple, list)) and len(query) == 3:
+                source, target, k = query
+                return (int(source), int(target), int(k))
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"non-integer query fields in {query!r}: {exc}") from exc
+        raise QueryError(
+            "queries must be (source, target, k) triples, Query objects, or "
+            f"mappings with source/target/k keys; got {query!r}"
+        )
+
+    @staticmethod
+    def _raw_fields(query: QueryLike) -> Tuple[object, object, object]:
+        """Best-effort ``(source, target, k)`` extraction for error outcomes."""
+        if isinstance(query, Query):
+            return (query.source, query.target, query.k)
+        if isinstance(query, dict):
+            return (query.get("source"), query.get("target"), query.get("k", 0))
+        if isinstance(query, (tuple, list)) and len(query) == 3:
+            return (query[0], query[1], query[2])
+        return (None, None, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"SPGEngine(graph={self._graph.name!r}, "
+            f"vertices={self._graph.num_vertices}, edges={self._graph.num_edges}, "
+            f"cache={'off' if self._cache is None else len(self._cache)})"
+        )

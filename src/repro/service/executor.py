@@ -1,0 +1,64 @@
+"""Concurrent task execution with deterministic ordering and error isolation.
+
+:func:`run_tasks` runs a list of zero-argument callables and returns their
+results *in task order*, no matter how the pool schedules them.  A task
+that raises is captured as a :class:`TaskError` entry instead of poisoning
+the whole batch, which is what gives the engine per-query error isolation.
+With ``max_workers <= 1`` (or a single task) everything runs inline on the
+calling thread — same semantics, no pool overhead.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["TaskError", "default_worker_count", "run_tasks"]
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """A captured exception from one task."""
+
+    error: BaseException
+
+    @property
+    def message(self) -> str:
+        return f"{type(self.error).__name__}: {self.error}"
+
+
+def default_worker_count() -> int:
+    """Default thread-pool size: CPU count capped at 32, at least 1."""
+    return max(1, min(32, os.cpu_count() or 1))
+
+
+def run_tasks(
+    tasks: Sequence[Callable[[], Any]],
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Run ``tasks`` and return one entry per task, in task order.
+
+    Each entry is the task's return value, or a :class:`TaskError` wrapping
+    the exception it raised.  ``max_workers=None`` uses
+    :func:`default_worker_count`; the pool never exceeds the task count.
+    """
+    workers = default_worker_count() if max_workers is None else max_workers
+    results: List[Any] = [None] * len(tasks)
+
+    def guarded(index: int) -> None:
+        try:
+            results[index] = tasks[index]()
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            results[index] = TaskError(exc)
+
+    if workers <= 1 or len(tasks) <= 1:
+        for index in range(len(tasks)):
+            guarded(index)
+        return results
+    with ThreadPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        # Consume the iterator so every task finishes before the pool exits;
+        # guarded() never raises, so this cannot abort early.
+        list(pool.map(guarded, range(len(tasks))))
+    return results

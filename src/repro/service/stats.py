@@ -1,0 +1,159 @@
+"""Engine observability: thread-safe counters and latency quantiles.
+
+:class:`EngineStats` is the per-engine metrics object surfaced by
+:meth:`repro.service.SPGEngine.stats`.  Latencies are kept in a bounded
+ring buffer (:class:`LatencyWindow`) so a long-lived engine reports
+quantiles over *recent* traffic with O(1) memory.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List
+
+__all__ = ["LatencyWindow", "EngineStats"]
+
+
+class LatencyWindow:
+    """Bounded reservoir of the most recent latency samples (seconds).
+
+    Once ``capacity`` samples have been recorded, the oldest sample is
+    overwritten (ring buffer), so quantiles always describe the last
+    ``capacity`` observations.
+    """
+
+    __slots__ = ("_capacity", "_samples", "_position", "_recorded")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._samples: List[float] = []
+        self._position = 0
+        self._recorded = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample."""
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._position] = seconds
+            self._position = (self._position + 1) % self._capacity
+        self._recorded += 1
+
+    def quantile(self, q: float) -> float:
+        """Return the ``q``-quantile (nearest-rank) of the retained samples.
+
+        Returns 0.0 when no sample has been recorded yet.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def recorded(self) -> int:
+        """Total number of samples ever recorded (including overwritten ones)."""
+        return self._recorded
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class EngineStats:
+    """Thread-safe counters and latency quantiles for one engine.
+
+    Every served query records exactly one observation; cache hits count
+    into ``cache_hits`` and computed queries into ``cache_misses`` so
+    ``hit_rate`` is the fraction of queries answered without running EVE.
+    """
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._latencies = LatencyWindow(latency_window)
+        self.queries_served = 0
+        self.batches_served = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.errors = 0
+        self.shared_backward_reuses = 0
+
+    # ------------------------------------------------------------------
+    def record_query(
+        self,
+        latency_seconds: float,
+        *,
+        cached: bool,
+        error: bool = False,
+        reused_backward: bool = False,
+    ) -> None:
+        """Record one served query."""
+        with self._lock:
+            self.queries_served += 1
+            if error:
+                self.errors += 1
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            if reused_backward:
+                self.shared_backward_reuses += 1
+            self._latencies.record(latency_seconds)
+
+    def record_batch(self) -> None:
+        """Record one served batch."""
+        with self._lock:
+            self.batches_served += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache (0.0 with no traffic)."""
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return self.cache_hits / total if total else 0.0
+
+    def percentile_seconds(self, q: float) -> float:
+        """Latency quantile over the recent window, in seconds."""
+        with self._lock:
+            return self._latencies.quantile(q)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return a point-in-time dictionary view (JSON friendly)."""
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return {
+                "queries_served": self.queries_served,
+                "batches_served": self.batches_served,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "hit_rate": self.cache_hits / total if total else 0.0,
+                "errors": self.errors,
+                "shared_backward_reuses": self.shared_backward_reuses,
+                "p50_ms": self._latencies.quantile(0.50) * 1000.0,
+                "p95_ms": self._latencies.quantile(0.95) * 1000.0,
+                "p99_ms": self._latencies.quantile(0.99) * 1000.0,
+            }
+
+    def reset(self) -> None:
+        """Zero every counter and drop the latency window."""
+        with self._lock:
+            capacity = self._latencies._capacity
+            self._latencies = LatencyWindow(capacity)
+            self.queries_served = 0
+            self.batches_served = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.errors = 0
+            self.shared_backward_reuses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineStats(queries={self.queries_served}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses}, "
+            f"errors={self.errors})"
+        )

@@ -1,0 +1,119 @@
+"""JSON-lines workload parsing and result serialisation for the service CLI.
+
+Input format (one query per line, blank lines and ``#`` comments skipped):
+
+* a JSON object: ``{"source": 0, "target": 7, "k": 4}``
+* or three whitespace-separated fields: ``0 7 4``
+
+Output format: one JSON object per query, in input order, carrying the
+answer edge set plus per-query serving metadata (cached, latency, error).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+
+from repro.exceptions import QueryError
+
+__all__ = [
+    "parse_query_line",
+    "iter_query_lines",
+    "read_queries",
+    "outcome_record",
+    "write_outcome",
+]
+
+RawQuery = Tuple[object, object, int]
+
+
+def parse_query_line(line: str) -> RawQuery:
+    """Parse one query line into a ``(source, target, k)`` triple.
+
+    Source and target are returned unconverted (the CLI may still need to
+    map labels through a :class:`~repro.graph.builder.GraphBuilder`); ``k``
+    is coerced to ``int`` here because it is never a label.
+    """
+    text = line.strip()
+    if text.startswith("{"):
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"malformed JSON query line: {text!r}") from exc
+        try:
+            return (record["source"], record["target"], int(record["k"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(
+                f"JSON query needs source/target/k fields: {text!r}"
+            ) from exc
+    fields = text.split()
+    if len(fields) != 3:
+        raise QueryError(
+            f"query line needs 3 whitespace-separated fields or a JSON object: {text!r}"
+        )
+    try:
+        return (fields[0], fields[1], int(fields[2]))
+    except ValueError as exc:
+        raise QueryError(f"hop constraint must be an integer: {text!r}") from exc
+
+
+def iter_query_lines(lines: Iterable[str]) -> Iterator[RawQuery]:
+    """Yield parsed queries, skipping blank lines and ``#`` comments."""
+    for line in lines:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        yield parse_query_line(text)
+
+
+def read_queries(handle: TextIO) -> List[RawQuery]:
+    """Read every query from an open text stream."""
+    return list(iter_query_lines(handle))
+
+
+def outcome_record(
+    outcome,
+    include_edges: bool = True,
+    relabel: Optional[Callable[[int], object]] = None,
+) -> Dict[str, object]:
+    """Serialise one :class:`~repro.service.engine.QueryOutcome` to a dict.
+
+    ``relabel`` optionally maps dense vertex ids back to the caller's own
+    labels (e.g. :meth:`repro.graph.builder.GraphBuilder.vertex_label`);
+    it is applied to the endpoints and every reported edge.
+    """
+    name = relabel if relabel is not None else (lambda vertex: vertex)
+    record: Dict[str, object] = {
+        "source": name(outcome.source),
+        "target": name(outcome.target),
+        "k": outcome.k,
+        "ok": outcome.ok,
+        "cached": outcome.cached,
+        "reused_backward": outcome.reused_backward,
+        "latency_ms": round(outcome.latency_seconds * 1000.0, 3),
+    }
+    if outcome.ok:
+        record["num_edges"] = len(outcome.result.edges)
+        record["exact"] = outcome.result.exact
+        if include_edges:
+            record["edges"] = sorted(
+                (name(u), name(v)) for u, v in outcome.result.edges
+            )
+    else:
+        record["error"] = outcome.error
+    return record
+
+
+def write_outcome(
+    handle: TextIO,
+    outcome,
+    include_edges: bool = True,
+    relabel: Optional[Callable[[int], object]] = None,
+) -> None:
+    """Write one outcome as a JSON line."""
+    handle.write(
+        json.dumps(
+            outcome_record(outcome, include_edges=include_edges, relabel=relabel)
+        )
+    )
+    handle.write("\n")

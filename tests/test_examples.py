@@ -67,3 +67,8 @@ def test_batch_fraud_screening():
     output = run_example("batch_fraud_screening.py")
     assert "Screened" in output
     assert "Recall    vs planted rings" in output
+    # The example serves the screening batch through SPGEngine and reports
+    # the serving-layer statistics against the sequential baseline.
+    assert "Serving-layer statistics" in output
+    assert "cache hit rate" in output
+    assert "speedup" in output

@@ -1,0 +1,28 @@
+"""Packaging sanity: pyproject metadata stays in sync with the package."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def test_pyproject_exists():
+    assert PYPROJECT.is_file(), "setup.py's docstring promises a pyproject.toml"
+
+
+def test_version_matches_package():
+    # Parsed with a regex instead of tomllib so the check also runs on 3.9/3.10.
+    text = PYPROJECT.read_text(encoding="utf-8")
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE)
+    assert match, "pyproject.toml must declare a project version"
+    assert match.group(1) == repro.__version__
+
+
+def test_src_layout_declared():
+    text = PYPROJECT.read_text(encoding="utf-8")
+    assert 'package-dir = { "" = "src" }' in text
+    assert 'where = ["src"]' in text

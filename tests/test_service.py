@@ -1,0 +1,542 @@
+"""Tests for the serving layer (repro.service) and its core reuse hooks.
+
+Covers the graph fingerprint, the shared backward-pass hook in
+``repro.core.distances``/``repro.core.eve``, the LRU result cache, the
+batch planner, the concurrent executor, ``SPGEngine`` (batch == sequential,
+cache hit/invalidation, determinism under threads, error isolation,
+streaming), the workload adapters, and a CLI round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import DiGraph, EVEConfig, SPGEngine, build_spg
+from repro.core.distances import (
+    backward_distance_map,
+    bounded_bfs,
+    compute_distance_index,
+)
+from repro.core.eve import EVE
+from repro.exceptions import QueryError
+from repro.graph.generators import erdos_renyi, power_law_cluster
+from repro.queries.workload import (
+    Query,
+    random_reachable_queries,
+    target_grouped_queries,
+    workloads_to_batch,
+)
+from repro.service import (
+    EngineStats,
+    LatencyWindow,
+    ResultCache,
+    TaskError,
+    make_cache_key,
+    plan_batch,
+    run_tasks,
+)
+from repro.service.workload_io import iter_query_lines, outcome_record, parse_query_line
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+# ----------------------------------------------------------------------
+# Graph fingerprint
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_equal_graphs_share_fingerprint(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        a = DiGraph(3, edges, name="a")
+        b = DiGraph(3, reversed(edges), name="b")  # order/name must not matter
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_edges_differ(self):
+        a = DiGraph(3, [(0, 1), (1, 2)])
+        b = DiGraph(3, [(0, 1), (2, 1)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_vertex_count_matters(self):
+        a = DiGraph(3, [(0, 1)])
+        b = DiGraph(4, [(0, 1)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_cached_and_stable(self):
+        g = erdos_renyi(20, 2.0, seed=1)
+        first = g.fingerprint()
+        assert g.fingerprint() is first  # cached string object
+
+    def test_copy_and_reverse(self):
+        g = erdos_renyi(15, 2.0, seed=2)
+        assert g.copy().fingerprint() == g.fingerprint()
+        rev = g.reverse()
+        assert rev.fingerprint() != g.fingerprint()
+        assert rev.reverse().fingerprint() == g.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Shared backward pass (core reuse hooks)
+# ----------------------------------------------------------------------
+class TestSharedBackward:
+    def test_backward_map_is_full_reverse_bfs(self, figure1_graph, figure1_ids):
+        t = figure1_ids("t")
+        shared = backward_distance_map(figure1_graph, t, 4)
+        assert shared.distances == bounded_bfs(figure1_graph, t, 4, reverse=True)
+        assert shared.target == t and shared.k == 4
+
+    def test_index_exact_on_candidate_space(self):
+        for seed in range(5):
+            g = erdos_renyi(25, 3.0, seed=seed)
+            rng = random.Random(seed)
+            s, t = rng.sample(range(25), 2)
+            k = 5
+            shared = backward_distance_map(g, t, k)
+            index = compute_distance_index(g, s, t, k, shared_backward=shared)
+            reference = compute_distance_index(g, s, t, k, strategy="single")
+            assert index.candidate_vertices() == reference.candidate_vertices()
+            for v in reference.candidate_vertices():
+                assert index.dist_from_source(v) == reference.dist_from_source(v)
+                assert index.dist_to_target(v) == reference.dist_to_target(v)
+
+    def test_eve_answers_identical_with_shared_backward(self):
+        for seed in range(8):
+            g = power_law_cluster(22, 2, seed=seed)
+            rng = random.Random(seed + 100)
+            for _ in range(5):
+                s, t = rng.sample(range(22), 2)
+                for k in (3, 5, 7):
+                    shared = backward_distance_map(g, t, k)
+                    with_shared = EVE(g).query(s, t, k, shared_backward=shared)
+                    cold = build_spg(g, s, t, k)
+                    assert with_shared.edges == cold.edges
+                    assert with_shared.upper_bound_edges == cold.upper_bound_edges
+                    assert with_shared.labels == cold.labels
+
+    def test_wider_budget_is_accepted(self, diamond_graph):
+        shared = backward_distance_map(diamond_graph, 3, 5)
+        result = EVE(diamond_graph).query(0, 3, 2, shared_backward=shared)
+        assert result.edges == build_spg(diamond_graph, 0, 3, 2).edges
+
+    def test_mismatched_target_rejected(self, diamond_graph):
+        shared = backward_distance_map(diamond_graph, 2, 3)
+        with pytest.raises(QueryError, match="target"):
+            compute_distance_index(diamond_graph, 0, 3, 3, shared_backward=shared)
+
+    def test_narrower_budget_rejected(self, diamond_graph):
+        shared = backward_distance_map(diamond_graph, 3, 2)
+        with pytest.raises(QueryError, match="k="):
+            compute_distance_index(diamond_graph, 0, 3, 4, shared_backward=shared)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def _key(self, i: int):
+        return make_cache_key(i, i + 1, 3, EVEConfig(), "fp")
+
+    def test_hit_miss_counters(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get(self._key(0)) is None
+        cache.put(self._key(0), "r0")
+        assert cache.get(self._key(0)) == "r0"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(self._key(0), "r0")
+        cache.put(self._key(1), "r1")
+        cache.get(self._key(0))  # refresh 0; 1 becomes LRU
+        cache.put(self._key(2), "r2")
+        assert cache.get(self._key(1)) is None
+        assert cache.get(self._key(0)) == "r0"
+        assert cache.evictions == 1
+
+    def test_config_and_fingerprint_partition_keys(self):
+        verify_on = make_cache_key(0, 1, 3, EVEConfig(), "fp")
+        verify_off = make_cache_key(0, 1, 3, EVEConfig(verify=False), "fp")
+        other_graph = make_cache_key(0, 1, 3, EVEConfig(), "fp2")
+        assert len({verify_on, verify_off, other_graph}) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_thread_safety_smoke(self):
+        cache = ResultCache(max_entries=64)
+
+        def worker(base: int) -> None:
+            for i in range(200):
+                key = self._key((base * 200 + i) % 100)
+                cache.put(key, i)
+                cache.get(key)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 64
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_groups_by_target_and_k(self):
+        queries = [(0, 9, 4), (1, 9, 4), (2, 8, 4), (3, 9, 5), (4, 9, 4)]
+        plan = plan_batch(queries)
+        by_key = {(g.target, g.k): g for g in plan.groups}
+        assert set(by_key) == {(9, 4), (8, 4), (9, 5)}
+        assert [q.index for q in by_key[(9, 4)].queries] == [0, 1, 4]
+        assert by_key[(9, 4)].shared
+        assert not by_key[(8, 4)].shared and not by_key[(9, 5)].shared
+        assert plan.num_queries == 5
+        assert plan.num_shared_groups == 1
+        assert plan.reused_backward_passes == 2
+
+    def test_deterministic_group_order(self):
+        queries = [(i, i % 3, 4) for i in range(12)]
+        first = plan_batch(queries)
+        second = plan_batch(list(queries))
+        assert [(g.target, g.k) for g in first.groups] == [
+            (g.target, g.k) for g in second.groups
+        ]
+
+    def test_min_group_size(self):
+        plan = plan_batch([(0, 9, 4), (1, 9, 4)], min_group_size=3)
+        assert plan.num_shared_groups == 0
+        with pytest.raises(QueryError):
+            plan_batch([], min_group_size=1)
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+class TestExecutor:
+    def test_results_in_task_order(self):
+        tasks = [lambda i=i: i * i for i in range(20)]
+        assert run_tasks(tasks, max_workers=8) == [i * i for i in range(20)]
+
+    def test_error_isolation(self):
+        def boom():
+            raise ValueError("boom")
+
+        results = run_tasks([lambda: 1, boom, lambda: 3], max_workers=4)
+        assert results[0] == 1 and results[2] == 3
+        assert isinstance(results[1], TaskError)
+        assert "boom" in results[1].message
+
+    def test_inline_path(self):
+        order = []
+        tasks = [lambda i=i: order.append(i) for i in range(5)]
+        run_tasks(tasks, max_workers=1)
+        assert order == list(range(5))
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class TestSPGEngine:
+    def test_batch_equals_sequential_over_random_graphs(self):
+        for seed in range(6):
+            graph = erdos_renyi(28, 2.5, seed=seed)
+            workload = random_reachable_queries(graph, 4, 12, seed=seed)
+            engine = SPGEngine(graph, max_workers=4)
+            report = engine.run_batch(workload.as_batch())
+            assert len(report) == 12
+            for outcome, query in zip(report, workload):
+                reference = build_spg(graph, query.source, query.target, query.k)
+                assert outcome.ok
+                assert outcome.edges == reference.edges
+
+    def test_accepts_tuples_queries_and_mappings(self, diamond_graph):
+        engine = SPGEngine(diamond_graph)
+        report = engine.run_batch(
+            [(0, 3, 2), Query(source=0, target=3, k=2), {"source": 0, "target": 3, "k": 2}]
+        )
+        expected = build_spg(diamond_graph, 0, 3, 2).edges
+        assert [o.edges for o in report] == [expected] * 3
+        # All three normalise to one query: two are in-batch dedup hits.
+        assert report.cache_hits == 2
+
+    def test_cache_hits_across_batches(self, small_dense_graph):
+        workload = random_reachable_queries(small_dense_graph, 4, 8, seed=3)
+        queries = sorted(set(workload.as_batch()))  # drop in-batch duplicates
+        engine = SPGEngine(small_dense_graph, max_workers=1)
+        first = engine.run_batch(queries)
+        second = engine.run_batch(queries)
+        assert first.cache_hits == 0
+        assert second.cache_hits == len(queries)
+        assert [o.edges for o in first] == [o.edges for o in second]
+        assert engine.stats.hit_rate == 0.5
+
+    def test_graph_swap_invalidates_and_equal_graph_rehits(self, small_dense_graph):
+        workload = random_reachable_queries(small_dense_graph, 4, 6, seed=4)
+        engine = SPGEngine(small_dense_graph, max_workers=1)
+        engine.run_batch(workload.as_batch())
+
+        # A genuinely different graph must not serve stale results.
+        edges = small_dense_graph.to_edge_list()
+        changed = DiGraph(
+            small_dense_graph.num_vertices, edges[:-1], name="changed"
+        )
+        engine.set_graph(changed)
+        changed_report = engine.run_batch(workload.as_batch())
+        assert changed_report.cache_hits == 0
+        for outcome, query in zip(changed_report, workload):
+            if outcome.ok:
+                reference = build_spg(changed, query.source, query.target, query.k)
+                assert outcome.edges == reference.edges
+
+        # Swapping back to an *equal* graph (new object) hits again.
+        engine.set_graph(small_dense_graph.copy(name="same-content"))
+        rehit = engine.run_batch(workload.as_batch())
+        assert rehit.cache_hits == len(workload)
+
+    def test_concurrent_execution_is_deterministic(self):
+        graph = power_law_cluster(40, 2, seed=9)
+        queries = [(s, t, 5) for s in range(8) for t in range(30, 38) if s != t]
+        reports = []
+        for _ in range(3):
+            engine = SPGEngine(graph, max_workers=8)
+            reports.append(engine.run_batch(queries))
+        baseline = [(o.source, o.target, o.k, sorted(o.edges)) for o in reports[0]]
+        for report in reports[1:]:
+            assert [(o.source, o.target, o.k, sorted(o.edges)) for o in report] == baseline
+
+    def test_error_isolation(self, diamond_graph):
+        engine = SPGEngine(diamond_graph, max_workers=4)
+        report = engine.run_batch([(0, 0, 2), (99, 3, 2), (0, 3, -1), (0, 3, 2)])
+        assert [outcome.ok for outcome in report] == [False, False, False, True]
+        assert "distinct" in report.outcomes[0].error
+        assert "vertex" in report.outcomes[1].error
+        assert report.errors == 3
+        assert report.outcomes[3].edges == build_spg(diamond_graph, 0, 3, 2).edges
+
+    def test_errors_are_not_cached(self, diamond_graph):
+        engine = SPGEngine(diamond_graph, max_workers=1)
+        for _ in range(2):
+            report = engine.run_batch([(0, 0, 2)])
+            assert not report.outcomes[0].ok
+            assert report.cache_hits == 0
+
+    def test_shared_groups_report_reuse(self):
+        graph = erdos_renyi(30, 3.0, seed=11)
+        workload = target_grouped_queries(graph, 4, 2, 3, seed=11)
+        engine = SPGEngine(graph, max_workers=1)
+        report = engine.run_batch(workload.as_batch())
+        assert report.shared_groups == 2
+        assert report.reused_backward_passes == 4
+        assert all(outcome.reused_backward for outcome in report)
+        for outcome, query in zip(report, workload):
+            assert outcome.edges == build_spg(
+                graph, query.source, query.target, query.k
+            ).edges
+
+    def test_single_query_api_and_stats(self, small_dense_graph):
+        engine = SPGEngine(small_dense_graph)
+        workload = random_reachable_queries(small_dense_graph, 4, 1, seed=5)
+        query = workload.queries[0]
+        first = engine.query(query.source, query.target, query.k)
+        second = engine.query(query.source, query.target, query.k)
+        assert first.edges == second.edges
+        snapshot = engine.stats_snapshot()
+        assert snapshot["queries_served"] == 2
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["cache"]["entries"] == 1
+        with pytest.raises(QueryError):
+            engine.query(query.source, query.source, query.k)
+        assert engine.stats_snapshot()["errors"] == 1
+
+    def test_cache_disabled(self, small_dense_graph):
+        engine = SPGEngine(small_dense_graph, cache_size=0, max_workers=1)
+        assert engine.cache is None
+        workload = random_reachable_queries(small_dense_graph, 4, 4, seed=6)
+        for _ in range(2):
+            report = engine.run_batch(workload.as_batch())
+            assert report.cache_hits == 0
+
+    def test_run_stream_orders_and_chunks(self):
+        graph = erdos_renyi(25, 2.5, seed=13)
+        workload = random_reachable_queries(graph, 4, 10, seed=13)
+        engine = SPGEngine(graph, max_workers=2)
+        outcomes = list(engine.run_stream(iter(workload.as_batch()), batch_size=3))
+        assert [(o.source, o.target) for o in outcomes] == [
+            (q.source, q.target) for q in workload
+        ]
+        assert engine.stats.batches_served == 4  # ceil(10 / 3)
+
+    def test_malformed_queries_are_isolated(self, diamond_graph):
+        engine = SPGEngine(diamond_graph)
+        report = engine.run_batch(
+            [(0, 3), {"s": 0, "t": 3, "k": 2}, ("a", "b", 2), (0, 3, 2)]
+        )
+        assert [outcome.ok for outcome in report] == [False, False, False, True]
+        assert "triples" in report.outcomes[0].error
+        assert "source/target/k" in report.outcomes[1].error
+        assert "non-integer" in report.outcomes[2].error
+        assert report.outcomes[3].edges == build_spg(diamond_graph, 0, 3, 2).edges
+
+    def test_errored_duplicates_do_not_count_as_hits(self, diamond_graph):
+        engine = SPGEngine(diamond_graph, max_workers=1)
+        report = engine.run_batch([(0, 99, 2), (0, 99, 2)])
+        assert [outcome.ok for outcome in report] == [False, False]
+        assert report.cache_hits == 0
+        assert engine.stats_snapshot()["hit_rate"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+class TestStats:
+    def test_latency_window_quantiles(self):
+        window = LatencyWindow(capacity=100)
+        for value in range(1, 101):
+            window.record(value / 1000.0)
+        assert window.quantile(0.5) == pytest.approx(0.050)
+        assert window.quantile(0.95) == pytest.approx(0.095)
+        assert window.quantile(1.0) == pytest.approx(0.100)
+        assert window.quantile(0.0) == pytest.approx(0.001)
+
+    def test_latency_window_wraps(self):
+        window = LatencyWindow(capacity=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 10.0, 20.0):
+            window.record(value)
+        assert window.recorded == 6
+        assert len(window) == 4
+        assert window.quantile(1.0) == 20.0
+
+    def test_engine_stats_reset(self):
+        stats = EngineStats()
+        stats.record_query(0.01, cached=False)
+        stats.record_query(0.0, cached=True, reused_backward=True)
+        assert stats.hit_rate == 0.5
+        assert stats.shared_backward_reuses == 1
+        stats.reset()
+        assert stats.queries_served == 0
+        assert stats.snapshot()["p95_ms"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Workload adapters
+# ----------------------------------------------------------------------
+class TestWorkloadAdapters:
+    def test_as_batch_and_merge(self, small_dense_graph):
+        first = random_reachable_queries(small_dense_graph, 3, 3, seed=1)
+        second = random_reachable_queries(small_dense_graph, 4, 2, seed=2)
+        batch = workloads_to_batch([first, second])
+        assert batch == first.as_batch() + second.as_batch()
+        assert all(len(entry) == 3 for entry in batch)
+
+    def test_target_grouped_queries_shape(self):
+        graph = erdos_renyi(30, 3.0, seed=21)
+        workload = target_grouped_queries(graph, 4, 3, 4, seed=21)
+        assert len(workload) == 12
+        by_target = {}
+        for query in workload:
+            by_target.setdefault(query.target, set()).add(query.source)
+            assert query.distance is not None and query.distance <= 4
+        assert len(by_target) == 3
+        assert all(len(sources) == 4 for sources in by_target.values())
+
+    def test_target_grouped_queries_too_sparse(self):
+        path = DiGraph(3, [(0, 1), (1, 2)], name="path")
+        with pytest.raises(QueryError):
+            target_grouped_queries(path, 2, 3, 2, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Workload IO + CLI
+# ----------------------------------------------------------------------
+class TestWorkloadIO:
+    def test_parse_json_and_plain_lines(self):
+        assert parse_query_line('{"source": 1, "target": 2, "k": 3}') == (1, 2, 3)
+        assert parse_query_line("a b 4") == ("a", "b", 4)
+        with pytest.raises(QueryError):
+            parse_query_line("1 2")
+        with pytest.raises(QueryError):
+            parse_query_line('{"source": 1}')
+
+    def test_iter_skips_blanks_and_comments(self):
+        lines = ["# header", "", "0 1 3", "  ", "{\"source\": 2, \"target\": 0, \"k\": 2}"]
+        assert list(iter_query_lines(lines)) == [("0", "1", 3), (2, 0, 2)]
+
+    def test_outcome_record_relabel(self, diamond_graph):
+        engine = SPGEngine(diamond_graph)
+        outcome = engine.run_batch([(0, 3, 2)]).outcomes[0]
+        record = outcome_record(outcome, relabel=lambda v: f"v{v}")
+        assert record["source"] == "v0" and record["target"] == "v3"
+        assert ["v0", "v3"] in [list(edge) for edge in record["edges"]]
+
+
+class TestCLI:
+    def _run(self, args, stdin_text):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.service", *args],
+            input=stdin_text,
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={"PYTHONPATH": str(SRC_DIR)},
+        )
+        return completed
+
+    def test_round_trip_on_edge_list(self, tmp_path):
+        edges = tmp_path / "graph.txt"
+        edges.write_text("# toy\na b\nb c\na c\nc d\n", encoding="utf-8")
+        stdin_text = (
+            '{"source": "a", "target": "d", "k": 3}\n'
+            "a d 3\n"          # duplicate -> cache/dedup hit
+            "a zzz 2\n"        # unknown label -> isolated error
+        )
+        completed = self._run(["--edges", str(edges), "--stats"], stdin_text)
+        assert completed.returncode == 0, completed.stderr
+        records = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert len(records) == 3
+        assert records[0]["ok"] and records[0]["num_edges"] == 4
+        assert sorted(map(tuple, records[0]["edges"])) == [
+            ("a", "b"), ("a", "c"), ("b", "c"), ("c", "d")
+        ]
+        assert records[1]["ok"] and records[1]["cached"]
+        assert records[1]["edges"] == records[0]["edges"]
+        assert not records[2]["ok"] and "zzz" in records[2]["error"]
+        stats = json.loads(completed.stderr.strip().splitlines()[-1])
+        assert stats["queries_served"] == 2
+
+    def test_round_trip_matches_build_spg_on_dataset(self, tmp_path):
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("ps", scale=0.08)
+        workload = random_reachable_queries(graph, 4, 5, seed=7)
+        queries_file = tmp_path / "queries.jsonl"
+        queries_file.write_text(
+            "".join(
+                json.dumps({"source": q.source, "target": q.target, "k": q.k}) + "\n"
+                for q in workload
+            ),
+            encoding="utf-8",
+        )
+        completed = self._run(
+            ["--dataset", "ps", "--scale", "0.08", "--queries", str(queries_file)],
+            "",
+        )
+        assert completed.returncode == 0, completed.stderr
+        records = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert len(records) == 5
+        for record, query in zip(records, workload):
+            reference = build_spg(graph, query.source, query.target, query.k)
+            assert record["ok"]
+            assert sorted(map(tuple, record["edges"])) == sorted(reference.edges)
+
+    def test_bad_graph_source_fails_cleanly(self):
+        completed = self._run(["--edges", "/nonexistent/graph.txt"], "")
+        assert completed.returncode == 2
+        assert "could not load graph" in completed.stderr
