@@ -4,12 +4,24 @@ Queries whose endpoints are close together (relative to ``k``) have many
 more hop-constrained simple paths, so enumeration baselines slow down
 sharply for small ``dist(s, t)`` while EVE stays flat — it never touches
 individual paths.
+
+This file also regression-guards the CSR refactor of the distance layer:
+``test_fig10b_csr_kernel_speedup`` times the retained pure-dict kernel
+(:mod:`repro.core.distances_reference`) against the flat-array kernel on
+the largest generated graph of the run and asserts the >= 1.5x speedup
+that justified the refactor.
 """
 
 from __future__ import annotations
 
+import random
+import time
+
 from repro.bench.experiments import experiment_fig10b
+from repro.core import distances_reference
+from repro.core.distances import DISTANCE_STRATEGIES, DistanceScratch, compute_distance_index
 from repro.core.eve import EVE
+from repro.graph.generators import erdos_renyi
 from repro.queries.workload import distance_stratified_queries
 
 
@@ -32,3 +44,94 @@ def test_fig10b_eve_close_pair(benchmark, scale):
     engine = EVE(graph)
     query = queries[0]
     benchmark(engine.query, query.source, query.target, k)
+
+
+def test_fig10b_csr_kernel_speedup(benchmark, scale, show_table):
+    """Old dict-based distance kernel vs the CSR kernel, answer-checked.
+
+    Runs every query of the Figure 10(b) workload through all three
+    strategies with both kernels on the largest generated graph; the CSR
+    side reuses one scratch (the serving configuration).  Asserts identical
+    distance maps and the acceptance bar of a >= 1.5x speedup.
+    """
+    # Answer-check on the run's largest dataset proxy first: timing means
+    # nothing unless the kernels agree.
+    proxy = max(
+        (scale.load_graph(code) for code in scale.datasets),
+        key=lambda g: g.num_edges,
+    )
+    proxy_k = max(scale.hop_values)
+    scratch = DistanceScratch()
+    for q in scale.workload(proxy, proxy_k).queries:
+        for strategy in DISTANCE_STRATEGIES:
+            new_index = compute_distance_index(
+                proxy, q.source, q.target, q.k, strategy, scratch=scratch
+            )
+            ref_index = distances_reference.compute_distance_index(
+                proxy, q.source, q.target, q.k, strategy
+            )
+            assert dict(new_index.from_source) == dict(ref_index.from_source)
+            assert dict(new_index.to_target) == dict(ref_index.to_target)
+
+    # Time on a graph big enough that kernel cost, not per-call constants,
+    # dominates — the scale proxies at the tiny preset are a few hundred
+    # edges, where any measurement is noise.  This is the largest generated
+    # graph of the benchmark run.
+    graph = erdos_renyi(30_000, 6.0, seed=scale.seed, name="kernel-bench")
+    k = 6
+    rng = random.Random(scale.seed)
+    queries = []
+    while len(queries) < 8:
+        s, t = rng.sample(range(graph.num_vertices), 2)
+        queries.append((s, t, k))
+    rounds = 3
+    # The CSR view is built once per immutable graph; warm it so the timing
+    # compares steady-state kernels (a cold build is a one-off O(m) cost).
+    graph.csr()
+    graph.csr_reverse()
+
+    def run_reference() -> float:
+        started = time.perf_counter()
+        for s, t, hops in queries:
+            for strategy in DISTANCE_STRATEGIES:
+                distances_reference.compute_distance_index(graph, s, t, hops, strategy)
+        return time.perf_counter() - started
+
+    def run_csr() -> float:
+        started = time.perf_counter()
+        for s, t, hops in queries:
+            for strategy in DISTANCE_STRATEGIES:
+                compute_distance_index(graph, s, t, hops, strategy, scratch=scratch)
+        return time.perf_counter() - started
+
+    reference_seconds = min(run_reference() for _ in range(rounds))
+    # pedantic returns run_csr's result (the last round's wall time); fold in
+    # extra rounds so both sides report their best-of-N.
+    csr_seconds = benchmark.pedantic(run_csr, rounds=rounds, iterations=1)
+    csr_seconds = min(csr_seconds, *(run_csr() for _ in range(rounds - 1)))
+
+    speedup = reference_seconds / max(csr_seconds, 1e-9)
+    show_table(
+        [
+            {
+                "graph": graph.name,
+                "queries": len(queries) * len(DISTANCE_STRATEGIES),
+                "kernel": "dict (reference)",
+                "seconds": round(reference_seconds, 4),
+                "speedup": 1.0,
+            },
+            {
+                "graph": graph.name,
+                "queries": len(queries) * len(DISTANCE_STRATEGIES),
+                "kernel": "CSR + scratch",
+                "seconds": round(csr_seconds, 4),
+                "speedup": round(speedup, 2),
+            },
+        ],
+        f"Figure 10(b) kernel: dict vs CSR distance engine, k = {k}",
+    )
+    assert speedup >= 1.5, (
+        f"expected the CSR kernel to be >= 1.5x faster than the dict kernel "
+        f"on {graph.name}, got {speedup:.2f}x "
+        f"({reference_seconds:.4f}s vs {csr_seconds:.4f}s)"
+    )

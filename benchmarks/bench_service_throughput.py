@@ -7,6 +7,10 @@ seed's sequential ``build_spg`` loop against ``SPGEngine.run_batch`` on
 such a cached/target-grouped workload and asserts the acceptance bar of a
 >= 1.5x speedup at identical answers.  A second measurement isolates the
 planner's backward-pass reuse on a completely cold, deduplicated batch.
+Both paths additionally assert — via the scratch-pool counters in
+:class:`repro.service.stats.EngineStats` — that cache misses allocate no
+per-query distance buffers: allocations are bounded by the worker count,
+everything else reuses pooled flat buffers.
 """
 
 from __future__ import annotations
@@ -82,6 +86,34 @@ def test_service_batch_speedup(benchmark, scale, show_table):
         f"expected >= 1.5x speedup on a cached/target-grouped workload, "
         f"got {speedup:.2f}x ({sequential_seconds:.4f}s vs {batch_seconds:.4f}s)"
     )
+    _assert_zero_per_query_allocation(engine, max_workers=1)
+
+
+def _assert_zero_per_query_allocation(engine: SPGEngine, max_workers: int) -> None:
+    """The batch path must not allocate distance buffers per query.
+
+    Every executed query checks out exactly one scratch from the engine
+    pool; allocations are bounded by the number of concurrent workers and
+    everything else is a reuse of pooled flat buffers — i.e. zero per-query
+    distance-dict (or buffer) allocation on cache misses.  The exact
+    miss-count equality below assumes an error-free workload (errored or
+    malformed queries count as misses without executing), which both
+    benchmark workloads are.
+    """
+    stats = engine.stats_snapshot()
+    assert stats["errors"] == 0
+    computed = stats["cache_misses"]
+    allocations = stats["scratch_allocations"]
+    reuses = stats["scratch_reuses"]
+    assert allocations + reuses == computed, (
+        f"every computed query should borrow exactly one scratch: "
+        f"{allocations} allocations + {reuses} reuses != {computed} misses"
+    )
+    assert allocations <= max_workers, (
+        f"scratch allocations must be bounded by the worker count "
+        f"({max_workers}), not by the query count: got {allocations}"
+    )
+    assert reuses == computed - allocations
 
 
 def test_service_cold_backward_reuse(benchmark, scale, show_table):
@@ -98,6 +130,7 @@ def test_service_cold_backward_reuse(benchmark, scale, show_table):
     )
     assert [outcome.edges for outcome in report] == [r.edges for r in sequential]
     assert report.reused_backward_passes > 0
+    _assert_zero_per_query_allocation(engine, max_workers=1)
     show_table(
         [
             {

@@ -25,13 +25,30 @@ All strategies return a :class:`DistanceIndex` whose distances are *exact*
 for every candidate vertex; the restricted extension is correct because any
 vertex on a shortest path to a candidate vertex is itself within the other
 side's explored radius (see the proof sketch in the module tests).
+
+Execution backend
+-----------------
+Since the CSR refactor, every search runs on the flat-array adjacency of
+:meth:`repro.graph.digraph.DiGraph.csr` instead of list-of-list neighbour
+walks, and visited bookkeeping uses *epoch-stamped* flat buffers instead of
+per-query dicts: a vertex ``v`` is reached iff ``stamp[v] == epoch``, so
+resetting between queries is a single integer increment rather than an
+O(n) clear or a fresh allocation.  The buffers live in a
+:class:`DistanceScratch` that callers (notably the
+:class:`repro.service.SPGEngine` scratch pool) can reuse across queries for
+zero per-query allocation; when no scratch is passed, a private one is
+created per call.  Results are exposed through :class:`ArrayDistanceMap`, a
+read-only ``Mapping`` view over the buffers, so the ``{vertex: distance}``
+contract of the previous dict implementation — retained verbatim in
+:mod:`repro.core.distances_reference` as the property-test oracle — is
+unchanged for every consumer.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections.abc import Mapping as _MappingABC
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro._types import Vertex
 from repro.exceptions import QueryError
@@ -40,6 +57,8 @@ from repro.graph.digraph import DiGraph
 __all__ = [
     "DistanceIndex",
     "BackwardDistanceMap",
+    "ArrayDistanceMap",
+    "DistanceScratch",
     "compute_distance_index",
     "backward_distance_map",
     "bounded_bfs",
@@ -49,6 +68,130 @@ __all__ = [
 DISTANCE_STRATEGIES = ("single", "bidirectional", "adaptive")
 
 _INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Flat-buffer scratch and the dict-like view over it
+# ----------------------------------------------------------------------
+class ArrayDistanceMap(_MappingABC):
+    """Read-only ``{vertex: distance}`` view over epoch-stamped flat buffers.
+
+    A vertex is present exactly when ``stamp[vertex] == epoch``; its
+    distance is then ``dist[vertex]``.  ``touched`` lists the present
+    vertices in discovery (BFS level) order, which makes iteration and
+    ``len`` O(reached) rather than O(n).  The class implements the full
+    ``Mapping`` protocol (including ``==`` against plain dicts), so code
+    written against the previous dict-based distance layer keeps working.
+
+    Lifetime: a view built on a *shared* :class:`DistanceScratch` is only
+    coherent until the scratch is reused for another query.  The engine
+    confines scratch-backed views to a single query execution;
+    :func:`backward_distance_map` always returns an owned view safe to
+    retain (batch planners cache it across queries).
+    """
+
+    __slots__ = ("dist", "stamp", "epoch", "touched")
+
+    def __init__(
+        self, dist: List[int], stamp: List[int], epoch: int, touched: List[Vertex]
+    ) -> None:
+        self.dist = dist
+        self.stamp = stamp
+        self.epoch = epoch
+        self.touched = touched
+
+    def get(self, vertex: Vertex, default=None):
+        """Return the distance of ``vertex`` or ``default`` when unreached.
+
+        Like ``dict.get``, any non-vertex key (wrong type, out of range)
+        yields ``default`` instead of raising.
+        """
+        stamp = self.stamp
+        try:
+            if 0 <= vertex < len(stamp) and stamp[vertex] == self.epoch:
+                return self.dist[vertex]
+        except TypeError:
+            return default
+        return default
+
+    def __getitem__(self, vertex: Vertex) -> int:
+        stamp = self.stamp
+        try:
+            if 0 <= vertex < len(stamp) and stamp[vertex] == self.epoch:
+                return self.dist[vertex]
+        except TypeError:
+            raise KeyError(vertex) from None
+        raise KeyError(vertex)
+
+    def __contains__(self, vertex: object) -> bool:
+        stamp = self.stamp
+        return (
+            isinstance(vertex, int)
+            and 0 <= vertex < len(stamp)
+            and stamp[vertex] == self.epoch
+        )
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self.touched)
+
+    def __len__(self) -> int:
+        return len(self.touched)
+
+    def items(self) -> List[Tuple[Vertex, int]]:
+        """Return ``(vertex, distance)`` pairs in discovery order (fast path)."""
+        dist = self.dist
+        return [(v, dist[v]) for v in self.touched]
+
+    def to_dict(self) -> dict:
+        """Materialise a plain dict copy (detached from the scratch buffers)."""
+        dist = self.dist
+        return {v: dist[v] for v in self.touched}
+
+    def __repr__(self) -> str:
+        return f"ArrayDistanceMap(reached={len(self.touched)}, epoch={self.epoch})"
+
+
+class _ScratchSide:
+    """One reusable (dist, stamp) buffer pair with its current epoch."""
+
+    __slots__ = ("dist", "stamp", "epoch")
+
+    def __init__(self) -> None:
+        self.dist: List[int] = []
+        self.stamp: List[int] = []
+        self.epoch = 0
+
+    def begin(self, num_vertices: int) -> Tuple[List[int], List[int], int]:
+        """Start a new search: bump the epoch, grow buffers to fit the graph."""
+        grow = num_vertices - len(self.stamp)
+        if grow > 0:
+            self.dist.extend([0] * grow)
+            self.stamp.extend([0] * grow)
+        self.epoch += 1
+        return self.dist, self.stamp, self.epoch
+
+
+class DistanceScratch:
+    """Reusable flat buffers for one in-flight distance computation.
+
+    Holds a forward and a backward :class:`_ScratchSide` (a bi-directional
+    search needs both simultaneously).  A scratch must serve at most one
+    query at a time, but may be reused for any number of *successive*
+    queries — even across graphs of different sizes (buffers grow on
+    demand) — without allocating: that is the zero-allocation serving path
+    of :class:`repro.service.ScratchPool`.
+    """
+
+    __slots__ = ("forward", "backward")
+
+    def __init__(self) -> None:
+        self.forward = _ScratchSide()
+        self.backward = _ScratchSide()
+
+    @property
+    def capacity(self) -> int:
+        """Number of vertices the buffers currently cover without growing."""
+        return len(self.forward.stamp)
 
 
 @dataclass
@@ -68,13 +211,17 @@ class DistanceIndex:
         by the Figure 11 ablation report).
     strategy:
         Which strategy produced the index.
+
+    Both distance maps satisfy the ``Mapping`` protocol; they are plain
+    dicts when built by :mod:`repro.core.distances_reference` and
+    :class:`ArrayDistanceMap` views when built by the CSR kernel.
     """
 
     source: Vertex
     target: Vertex
     k: int
-    from_source: Dict[Vertex, int] = field(default_factory=dict)
-    to_target: Dict[Vertex, int] = field(default_factory=dict)
+    from_source: Mapping[Vertex, int] = field(default_factory=dict)
+    to_target: Mapping[Vertex, int] = field(default_factory=dict)
     explored_vertices: int = 0
     strategy: str = "adaptive"
 
@@ -111,84 +258,125 @@ class DistanceIndex:
 
 
 # ----------------------------------------------------------------------
-# Elementary bounded BFS
+# CSR kernels
 # ----------------------------------------------------------------------
-def bounded_bfs(
-    graph: DiGraph,
+def _csr_bfs(
+    offsets,
+    targets,
     source: Vertex,
     max_depth: int,
-    reverse: bool = False,
-    allowed: Optional[Dict[Vertex, int]] = None,
-    allowed_budget: Optional[int] = None,
-) -> Dict[Vertex, int]:
-    """Breadth-first search from ``source`` bounded by ``max_depth`` hops.
-
-    Parameters
-    ----------
-    reverse:
-        When true, traverse in-edges instead of out-edges (used for the
-        backward search from ``t``).
-    allowed / allowed_budget:
-        When provided, a vertex ``v`` at depth ``d`` is only expanded/kept if
-        ``allowed`` knows it and ``d + allowed[v] <= allowed_budget``.  This
-        implements the restricted extension phase of (adaptive)
-        bi-directional search.
-    """
-    distances: Dict[Vertex, int] = {source: 0}
-    frontier: deque = deque([source])
+    dist: List[int],
+    stamp: List[int],
+    epoch: int,
+) -> List[Vertex]:
+    """Level BFS on a CSR view; returns the touched vertices in level order."""
+    dist[source] = 0
+    stamp[source] = epoch
+    touched = [source]
+    frontier = [source]
     depth = 0
     while frontier and depth < max_depth:
         depth += 1
-        next_frontier: deque = deque()
-        while frontier:
-            vertex = frontier.popleft()
-            neighbors = (
-                graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
-            )
-            for neighbor in neighbors:
-                if neighbor in distances:
-                    continue
-                if allowed is not None:
-                    other = allowed.get(neighbor)
-                    if other is None or depth + other > (allowed_budget or 0):
-                        continue
-                distances[neighbor] = depth
-                next_frontier.append(neighbor)
+        next_frontier: List[Vertex] = []
+        push = next_frontier.append
+        for vertex in frontier:
+            for neighbor in targets[offsets[vertex]:offsets[vertex + 1]]:
+                if stamp[neighbor] != epoch:
+                    stamp[neighbor] = epoch
+                    dist[neighbor] = depth
+                    push(neighbor)
+        touched.extend(next_frontier)
         frontier = next_frontier
-    return distances
+    return touched
 
 
-# ----------------------------------------------------------------------
-# Strategy drivers
-# ----------------------------------------------------------------------
-def _expand_one_level(
-    graph: DiGraph,
-    distances: Dict[Vertex, int],
+def _csr_bfs_allowed(
+    offsets,
+    targets,
+    source: Vertex,
+    max_depth: int,
+    dist: List[int],
+    stamp: List[int],
+    epoch: int,
+    allowed: Mapping[Vertex, int],
+    budget: int,
+) -> List[Vertex]:
+    """Restricted level BFS: admit ``w`` at depth ``d`` only when the other
+    side knows it and ``d + allowed[w] <= budget`` (the source is always
+    seeded).  Array-backed ``allowed`` maps are read through their raw
+    buffers; any other mapping falls back to ``.get``.
+    """
+    array_allowed = isinstance(allowed, ArrayDistanceMap)
+    if array_allowed:
+        adist = allowed.dist
+        astamp = allowed.stamp
+        aepoch = allowed.epoch
+    else:
+        aget = allowed.get
+    dist[source] = 0
+    stamp[source] = epoch
+    touched = [source]
+    frontier = [source]
+    depth = 0
+    while frontier and depth < max_depth:
+        depth += 1
+        next_frontier: List[Vertex] = []
+        push = next_frontier.append
+        for vertex in frontier:
+            for neighbor in targets[offsets[vertex]:offsets[vertex + 1]]:
+                if stamp[neighbor] == epoch:
+                    continue
+                if array_allowed:
+                    if astamp[neighbor] != aepoch or depth + adist[neighbor] > budget:
+                        continue
+                else:
+                    other = aget(neighbor)
+                    if other is None or depth + other > budget:
+                        continue
+                stamp[neighbor] = epoch
+                dist[neighbor] = depth
+                push(neighbor)
+        touched.extend(next_frontier)
+        frontier = next_frontier
+    return touched
+
+
+def _expand_level(
+    offsets,
+    targets,
     frontier: List[Vertex],
     depth: int,
-    reverse: bool,
+    dist: List[int],
+    stamp: List[int],
+    epoch: int,
+    touched: List[Vertex],
 ) -> List[Vertex]:
     """Expand ``frontier`` by one hop, recording new distances at ``depth``."""
     next_frontier: List[Vertex] = []
+    push = next_frontier.append
     for vertex in frontier:
-        neighbors = (
-            graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
-        )
-        for neighbor in neighbors:
-            if neighbor not in distances:
-                distances[neighbor] = depth
-                next_frontier.append(neighbor)
+        for neighbor in targets[offsets[vertex]:offsets[vertex + 1]]:
+            if stamp[neighbor] != epoch:
+                stamp[neighbor] = epoch
+                dist[neighbor] = depth
+                push(neighbor)
+    touched.extend(next_frontier)
     return next_frontier
 
 
 def _restricted_extension(
-    graph: DiGraph,
-    distances: Dict[Vertex, int],
+    offsets,
+    targets,
     frontier: List[Vertex],
     start_depth: int,
     k: int,
-    other_side: Dict[Vertex, int],
-    reverse: bool,
+    dist: List[int],
+    stamp: List[int],
+    epoch: int,
+    odist: List[int],
+    ostamp: List[int],
+    oepoch: int,
+    touched: List[Vertex],
 ) -> int:
     """Extend a partially-explored side up to depth ``k``.
 
@@ -203,27 +391,75 @@ def _restricted_extension(
     while current and depth < k:
         depth += 1
         next_frontier: List[Vertex] = []
+        push = next_frontier.append
         for vertex in current:
-            neighbors = (
-                graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
-            )
-            for neighbor in neighbors:
-                if neighbor in distances:
+            for neighbor in targets[offsets[vertex]:offsets[vertex + 1]]:
+                if stamp[neighbor] == epoch:
                     continue
-                other = other_side.get(neighbor)
-                if other is None or depth + other > k:
+                if ostamp[neighbor] != oepoch or depth + odist[neighbor] > k:
                     continue
-                distances[neighbor] = depth
-                next_frontier.append(neighbor)
+                stamp[neighbor] = epoch
+                dist[neighbor] = depth
+                push(neighbor)
                 explored += 1
+        touched.extend(next_frontier)
         current = next_frontier
     return explored
 
 
-def _single_directional(graph: DiGraph, s: Vertex, t: Vertex, k: int) -> DistanceIndex:
-    forward = bounded_bfs(graph, s, k, reverse=False)
-    backward = bounded_bfs(graph, t, k, reverse=True)
-    index = DistanceIndex(
+# ----------------------------------------------------------------------
+# Elementary bounded BFS
+# ----------------------------------------------------------------------
+def bounded_bfs(
+    graph: DiGraph,
+    source: Vertex,
+    max_depth: int,
+    reverse: bool = False,
+    allowed: Optional[Mapping[Vertex, int]] = None,
+    allowed_budget: Optional[int] = None,
+    scratch_side: Optional[_ScratchSide] = None,
+) -> ArrayDistanceMap:
+    """Breadth-first search from ``source`` bounded by ``max_depth`` hops.
+
+    Parameters
+    ----------
+    reverse:
+        When true, traverse in-edges instead of out-edges (used for the
+        backward search from ``t``).
+    allowed / allowed_budget:
+        When provided, a vertex ``v`` at depth ``d`` is only expanded/kept if
+        ``allowed`` knows it and ``d + allowed[v] <= allowed_budget``.  This
+        implements the restricted extension phase of (adaptive)
+        bi-directional search.
+    scratch_side:
+        Optional reusable buffers; a private pair is allocated when omitted.
+
+    Returns a read-only :class:`ArrayDistanceMap` that behaves like the
+    ``{vertex: depth}`` dict previously returned (including ``==`` against
+    plain dicts).
+    """
+    offsets, targets = graph.csr_reverse() if reverse else graph.csr()
+    side = scratch_side if scratch_side is not None else _ScratchSide()
+    dist, stamp, epoch = side.begin(graph.num_vertices)
+    if allowed is not None:
+        touched = _csr_bfs_allowed(
+            offsets, targets, source, max_depth, dist, stamp, epoch,
+            allowed, allowed_budget or 0,
+        )
+    else:
+        touched = _csr_bfs(offsets, targets, source, max_depth, dist, stamp, epoch)
+    return ArrayDistanceMap(dist, stamp, epoch, touched)
+
+
+# ----------------------------------------------------------------------
+# Strategy drivers
+# ----------------------------------------------------------------------
+def _single_directional(
+    graph: DiGraph, s: Vertex, t: Vertex, k: int, scratch: DistanceScratch
+) -> DistanceIndex:
+    forward = bounded_bfs(graph, s, k, reverse=False, scratch_side=scratch.forward)
+    backward = bounded_bfs(graph, t, k, reverse=True, scratch_side=scratch.backward)
+    return DistanceIndex(
         source=s,
         target=t,
         k=k,
@@ -232,7 +468,6 @@ def _single_directional(graph: DiGraph, s: Vertex, t: Vertex, k: int) -> Distanc
         explored_vertices=len(forward) + len(backward),
         strategy="single",
     )
-    return index
 
 
 def _two_phase(
@@ -241,9 +476,20 @@ def _two_phase(
     t: Vertex,
     k: int,
     adaptive: bool,
+    scratch: DistanceScratch,
 ) -> DistanceIndex:
-    forward: Dict[Vertex, int] = {s: 0}
-    backward: Dict[Vertex, int] = {t: 0}
+    n = graph.num_vertices
+    f_offsets, f_targets = graph.csr()
+    b_offsets, b_targets = graph.csr_reverse()
+    fdist, fstamp, fepoch = scratch.forward.begin(n)
+    bdist, bstamp, bepoch = scratch.backward.begin(n)
+
+    fdist[s] = 0
+    fstamp[s] = fepoch
+    bdist[t] = 0
+    bstamp[t] = bepoch
+    forward_touched = [s]
+    backward_touched = [t]
     forward_frontier: List[Vertex] = [s]
     backward_frontier: List[Vertex] = [t]
     forward_depth = 0
@@ -263,14 +509,16 @@ def _two_phase(
             )
             if advance_forward:
                 forward_depth += 1
-                forward_frontier = _expand_one_level(
-                    graph, forward, forward_frontier, forward_depth, reverse=False
+                forward_frontier = _expand_level(
+                    f_offsets, f_targets, forward_frontier, forward_depth,
+                    fdist, fstamp, fepoch, forward_touched,
                 )
                 explored += len(forward_frontier)
             else:
                 backward_depth += 1
-                backward_frontier = _expand_one_level(
-                    graph, backward, backward_frontier, backward_depth, reverse=True
+                backward_frontier = _expand_level(
+                    b_offsets, b_targets, backward_frontier, backward_depth,
+                    bdist, bstamp, bepoch, backward_touched,
                 )
                 explored += len(backward_frontier)
     else:
@@ -278,31 +526,35 @@ def _two_phase(
         backward_budget = k - forward_budget
         while forward_depth < forward_budget and forward_frontier:
             forward_depth += 1
-            forward_frontier = _expand_one_level(
-                graph, forward, forward_frontier, forward_depth, reverse=False
+            forward_frontier = _expand_level(
+                f_offsets, f_targets, forward_frontier, forward_depth,
+                fdist, fstamp, fepoch, forward_touched,
             )
             explored += len(forward_frontier)
         while backward_depth < backward_budget and backward_frontier:
             backward_depth += 1
-            backward_frontier = _expand_one_level(
-                graph, backward, backward_frontier, backward_depth, reverse=True
+            backward_frontier = _expand_level(
+                b_offsets, b_targets, backward_frontier, backward_depth,
+                bdist, bstamp, bepoch, backward_touched,
             )
             explored += len(backward_frontier)
 
     # Phase 2: restricted extension so every candidate vertex gets an exact
     # distance on both sides.
     explored += _restricted_extension(
-        graph, forward, forward_frontier, forward_depth, k, backward, reverse=False
+        f_offsets, f_targets, forward_frontier, forward_depth, k,
+        fdist, fstamp, fepoch, bdist, bstamp, bepoch, forward_touched,
     )
     explored += _restricted_extension(
-        graph, backward, backward_frontier, backward_depth, k, forward, reverse=True
+        b_offsets, b_targets, backward_frontier, backward_depth, k,
+        bdist, bstamp, bepoch, fdist, fstamp, fepoch, backward_touched,
     )
     return DistanceIndex(
         source=s,
         target=t,
         k=k,
-        from_source=forward,
-        to_target=backward,
+        from_source=ArrayDistanceMap(fdist, fstamp, fepoch, forward_touched),
+        to_target=ArrayDistanceMap(bdist, bstamp, bepoch, backward_touched),
         explored_vertices=explored,
         strategy="adaptive" if adaptive else "bidirectional",
     )
@@ -320,12 +572,14 @@ class BackwardDistanceMap:
     A batch of queries sharing ``(t, k)`` therefore computes it once and
     hands it to :func:`compute_distance_index` for each member, replacing
     the per-query backward search entirely.  Treat ``distances`` as
-    read-only — it is shared across queries and threads.
+    read-only — it is shared across queries and threads.  The map always
+    owns its buffers (it is never built on pooled scratch), so retaining it
+    across queries is safe.
     """
 
     target: Vertex
     k: int
-    distances: Dict[Vertex, int]
+    distances: Mapping[Vertex, int]
 
     def __len__(self) -> int:
         return len(self.distances)
@@ -349,6 +603,7 @@ def _from_shared_backward(
     t: Vertex,
     k: int,
     shared: BackwardDistanceMap,
+    scratch: DistanceScratch,
 ) -> DistanceIndex:
     """Build a :class:`DistanceIndex` from a precomputed backward pass.
 
@@ -361,7 +616,9 @@ def _from_shared_backward(
     contract: exact distances on the whole candidate space.
     """
     forward = bounded_bfs(
-        graph, s, k, reverse=False, allowed=shared.distances, allowed_budget=k
+        graph, s, k, reverse=False,
+        allowed=shared.distances, allowed_budget=k,
+        scratch_side=scratch.forward,
     )
     return DistanceIndex(
         source=s,
@@ -381,6 +638,7 @@ def compute_distance_index(
     k: int,
     strategy: str = "adaptive",
     shared_backward: Optional[BackwardDistanceMap] = None,
+    scratch: Optional[DistanceScratch] = None,
 ) -> DistanceIndex:
     """Compute the :class:`DistanceIndex` for a query ``<s, t, k>``.
 
@@ -390,6 +648,11 @@ def compute_distance_index(
     entirely and only a restricted forward search runs; ``strategy`` is then
     ignored.  This is the batch-query reuse hook used by
     :class:`repro.service.SPGEngine`.
+
+    ``scratch`` optionally supplies reusable flat buffers (see
+    :class:`DistanceScratch`); the returned index then borrows those buffers
+    and is only coherent until the scratch serves its next query.  Without
+    ``scratch``, the index owns freshly allocated buffers.
     """
     graph.check_vertex(source)
     graph.check_vertex(target)
@@ -401,6 +664,8 @@ def compute_distance_index(
         raise QueryError(
             f"unknown distance strategy {strategy!r}; expected one of {DISTANCE_STRATEGIES}"
         )
+    if scratch is None:
+        scratch = DistanceScratch()
     if shared_backward is not None:
         if shared_backward.target != target:
             raise QueryError(
@@ -412,7 +677,7 @@ def compute_distance_index(
                 f"shared backward pass covers k={shared_backward.k} hops, "
                 f"query needs k={k}"
             )
-        return _from_shared_backward(graph, source, target, k, shared_backward)
+        return _from_shared_backward(graph, source, target, k, shared_backward, scratch)
     if strategy == "single":
-        return _single_directional(graph, source, target, k)
-    return _two_phase(graph, source, target, k, adaptive=(strategy == "adaptive"))
+        return _single_directional(graph, source, target, k, scratch)
+    return _two_phase(graph, source, target, k, adaptive=(strategy == "adaptive"), scratch=scratch)

@@ -1,0 +1,275 @@
+"""Retained pure-dict reference implementation of the distance layer.
+
+This module preserves the original ``Dict[Vertex, int]`` implementation of
+bounded BFS and the three distance strategies exactly as they were before
+:mod:`repro.core.distances` moved to the CSR/flat-array kernel.  It exists
+for two reasons:
+
+* **Correctness oracle.**  The property tests cross-check every CSR-backed
+  strategy against these functions on randomized graphs; the refactor is
+  proven answer-identical, not assumed.
+* **Benchmark baseline.**  ``benchmarks/bench_fig10b_distance.py`` times the
+  old kernel against the new one and asserts the speedup that justified the
+  refactor.
+
+The functions mirror the public API of :mod:`repro.core.distances`
+(``bounded_bfs`` / ``compute_distance_index`` / ``backward_distance_map``)
+and return the same :class:`~repro.core.distances.DistanceIndex` /
+:class:`~repro.core.distances.BackwardDistanceMap` containers, just with
+plain dicts inside.  Do not use this module on hot paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro._types import Vertex
+from repro.core.distances import (
+    DISTANCE_STRATEGIES,
+    BackwardDistanceMap,
+    DistanceIndex,
+)
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["bounded_bfs", "compute_distance_index", "backward_distance_map"]
+
+
+def bounded_bfs(
+    graph: DiGraph,
+    source: Vertex,
+    max_depth: int,
+    reverse: bool = False,
+    allowed: Optional[Dict[Vertex, int]] = None,
+    allowed_budget: Optional[int] = None,
+) -> Dict[Vertex, int]:
+    """Dict-based breadth-first search bounded by ``max_depth`` hops."""
+    distances: Dict[Vertex, int] = {source: 0}
+    frontier: deque = deque([source])
+    depth = 0
+    while frontier and depth < max_depth:
+        depth += 1
+        next_frontier: deque = deque()
+        while frontier:
+            vertex = frontier.popleft()
+            neighbors = (
+                graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
+            )
+            for neighbor in neighbors:
+                if neighbor in distances:
+                    continue
+                if allowed is not None:
+                    other = allowed.get(neighbor)
+                    if other is None or depth + other > (allowed_budget or 0):
+                        continue
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+def _expand_one_level(
+    graph: DiGraph,
+    distances: Dict[Vertex, int],
+    frontier: List[Vertex],
+    depth: int,
+    reverse: bool,
+) -> List[Vertex]:
+    """Expand ``frontier`` by one hop, recording new distances at ``depth``."""
+    next_frontier: List[Vertex] = []
+    for vertex in frontier:
+        neighbors = (
+            graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
+        )
+        for neighbor in neighbors:
+            if neighbor not in distances:
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+    return next_frontier
+
+
+def _restricted_extension(
+    graph: DiGraph,
+    distances: Dict[Vertex, int],
+    frontier: List[Vertex],
+    start_depth: int,
+    k: int,
+    other_side: Dict[Vertex, int],
+    reverse: bool,
+) -> int:
+    """Extend a partially-explored side up to depth ``k`` (candidates only)."""
+    explored = 0
+    depth = start_depth
+    current = frontier
+    while current and depth < k:
+        depth += 1
+        next_frontier: List[Vertex] = []
+        for vertex in current:
+            neighbors = (
+                graph.in_neighbors(vertex) if reverse else graph.out_neighbors(vertex)
+            )
+            for neighbor in neighbors:
+                if neighbor in distances:
+                    continue
+                other = other_side.get(neighbor)
+                if other is None or depth + other > k:
+                    continue
+                distances[neighbor] = depth
+                next_frontier.append(neighbor)
+                explored += 1
+        current = next_frontier
+    return explored
+
+
+def _single_directional(graph: DiGraph, s: Vertex, t: Vertex, k: int) -> DistanceIndex:
+    forward = bounded_bfs(graph, s, k, reverse=False)
+    backward = bounded_bfs(graph, t, k, reverse=True)
+    return DistanceIndex(
+        source=s,
+        target=t,
+        k=k,
+        from_source=forward,
+        to_target=backward,
+        explored_vertices=len(forward) + len(backward),
+        strategy="single",
+    )
+
+
+def _two_phase(
+    graph: DiGraph,
+    s: Vertex,
+    t: Vertex,
+    k: int,
+    adaptive: bool,
+) -> DistanceIndex:
+    forward: Dict[Vertex, int] = {s: 0}
+    backward: Dict[Vertex, int] = {t: 0}
+    forward_frontier: List[Vertex] = [s]
+    backward_frontier: List[Vertex] = [t]
+    forward_depth = 0
+    backward_depth = 0
+    explored = 2
+
+    if adaptive:
+        while forward_depth + backward_depth < k:
+            forward_alive = bool(forward_frontier)
+            backward_alive = bool(backward_frontier)
+            if not forward_alive and not backward_alive:
+                break
+            advance_forward = forward_alive and (
+                not backward_alive
+                or len(forward_frontier) <= len(backward_frontier)
+            )
+            if advance_forward:
+                forward_depth += 1
+                forward_frontier = _expand_one_level(
+                    graph, forward, forward_frontier, forward_depth, reverse=False
+                )
+                explored += len(forward_frontier)
+            else:
+                backward_depth += 1
+                backward_frontier = _expand_one_level(
+                    graph, backward, backward_frontier, backward_depth, reverse=True
+                )
+                explored += len(backward_frontier)
+    else:
+        forward_budget = (k + 1) // 2
+        backward_budget = k - forward_budget
+        while forward_depth < forward_budget and forward_frontier:
+            forward_depth += 1
+            forward_frontier = _expand_one_level(
+                graph, forward, forward_frontier, forward_depth, reverse=False
+            )
+            explored += len(forward_frontier)
+        while backward_depth < backward_budget and backward_frontier:
+            backward_depth += 1
+            backward_frontier = _expand_one_level(
+                graph, backward, backward_frontier, backward_depth, reverse=True
+            )
+            explored += len(backward_frontier)
+
+    explored += _restricted_extension(
+        graph, forward, forward_frontier, forward_depth, k, backward, reverse=False
+    )
+    explored += _restricted_extension(
+        graph, backward, backward_frontier, backward_depth, k, forward, reverse=True
+    )
+    return DistanceIndex(
+        source=s,
+        target=t,
+        k=k,
+        from_source=forward,
+        to_target=backward,
+        explored_vertices=explored,
+        strategy="adaptive" if adaptive else "bidirectional",
+    )
+
+
+def backward_distance_map(graph: DiGraph, target: Vertex, k: int) -> BackwardDistanceMap:
+    """Dict-based source-independent backward pass for ``(target, k)``."""
+    graph.check_vertex(target)
+    if k < 1:
+        raise QueryError(f"hop constraint k must be >= 1, got {k}")
+    return BackwardDistanceMap(
+        target=target,
+        k=k,
+        distances=bounded_bfs(graph, target, k, reverse=True),
+    )
+
+
+def _from_shared_backward(
+    graph: DiGraph,
+    s: Vertex,
+    t: Vertex,
+    k: int,
+    shared: BackwardDistanceMap,
+) -> DistanceIndex:
+    forward = bounded_bfs(
+        graph, s, k, reverse=False, allowed=dict(shared.distances), allowed_budget=k
+    )
+    return DistanceIndex(
+        source=s,
+        target=t,
+        k=k,
+        from_source=forward,
+        to_target=shared.distances,
+        explored_vertices=len(forward),
+        strategy="shared-backward",
+    )
+
+
+def compute_distance_index(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    strategy: str = "adaptive",
+    shared_backward: Optional[BackwardDistanceMap] = None,
+) -> DistanceIndex:
+    """Dict-based :class:`DistanceIndex` computation (reference semantics)."""
+    graph.check_vertex(source)
+    graph.check_vertex(target)
+    if k < 1:
+        raise QueryError(f"hop constraint k must be >= 1, got {k}")
+    if source == target:
+        raise QueryError("source and target must be distinct vertices")
+    if strategy not in DISTANCE_STRATEGIES:
+        raise QueryError(
+            f"unknown distance strategy {strategy!r}; expected one of {DISTANCE_STRATEGIES}"
+        )
+    if shared_backward is not None:
+        if shared_backward.target != target:
+            raise QueryError(
+                f"shared backward pass was built for target {shared_backward.target}, "
+                f"query targets {target}"
+            )
+        if shared_backward.k < k:
+            raise QueryError(
+                f"shared backward pass covers k={shared_backward.k} hops, "
+                f"query needs k={k}"
+            )
+        return _from_shared_backward(graph, source, target, k, shared_backward)
+    if strategy == "single":
+        return _single_directional(graph, source, target, k)
+    return _two_phase(graph, source, target, k, adaptive=(strategy == "adaptive"))

@@ -39,7 +39,7 @@ Implementation notes
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from repro._types import Vertex
 from repro.core.distances import DistanceIndex
@@ -133,7 +133,7 @@ def _propagate(
     k: int,
     reverse: bool,
     direction: str,
-    distance_to_other: Optional[Dict[Vertex, int]],
+    distance_to_other: Optional[Mapping[Vertex, int]],
     prune: bool,
     space: Optional[SpaceMeter],
 ) -> EssentialVertexIndex:
@@ -146,6 +146,9 @@ def _propagate(
     """
     index = EssentialVertexIndex(anchor, excluded, k, direction)
     frontier: List[Vertex] = [anchor]
+    distance_get = (
+        distance_to_other.get if prune and distance_to_other is not None else None
+    )
     for level in range(1, k):
         updates: Dict[Vertex, set] = {}
         for x in frontier:
@@ -156,8 +159,8 @@ def _propagate(
             for y in neighbors:
                 if y == anchor or y == excluded:
                     continue
-                if prune and distance_to_other is not None:
-                    other = distance_to_other.get(y)
+                if distance_get is not None:
+                    other = distance_get(y)
                     if other is None or level + other > k:
                         continue
                 contribution = updates.get(y)

@@ -31,6 +31,7 @@ from repro._types import Vertex
 from repro.core.distances import (
     DISTANCE_STRATEGIES,
     BackwardDistanceMap,
+    DistanceScratch,
     compute_distance_index,
 )
 from repro.core.essential import propagate_backward, propagate_forward
@@ -109,14 +110,18 @@ class EVE:
         k: int,
         *,
         shared_backward: Optional[BackwardDistanceMap] = None,
+        scratch: Optional[DistanceScratch] = None,
     ) -> SimplePathGraphResult:
         """Return ``SPG_k(source, target)`` (exact unless ``verify=False``).
 
         ``shared_backward`` optionally supplies a precomputed backward
         distance pass for ``(target, k)`` (see
         :func:`repro.core.distances.backward_distance_map`), letting a batch
-        of queries with a common target amortise that phase.  The answer is
-        identical with or without it.
+        of queries with a common target amortise that phase.  ``scratch``
+        optionally supplies reusable distance buffers (see
+        :class:`repro.core.distances.DistanceScratch`) so repeated queries
+        skip per-query allocation; the scratch must not be shared by
+        concurrent queries.  The answer is identical with or without either.
         """
         self._validate(source, target, k)
         config = self.config
@@ -131,6 +136,7 @@ class EVE:
             k,
             strategy=config.distance_strategy,
             shared_backward=shared_backward,
+            scratch=scratch,
         )
         space.allocate(distances.size(), category="distances")
         phases.distance_seconds = time.perf_counter() - started

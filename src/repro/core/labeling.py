@@ -18,7 +18,7 @@ with their valid in-/out-neighbours (Definitions 5.1-5.4), truncated to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from repro._types import Edge, Vertex
 from repro.core.distances import DistanceIndex
@@ -143,12 +143,12 @@ def compute_upper_bound(
     """
     upper = UpperBoundGraph(source=source, target=target, k=k)
     from_source = distances.from_source
-    to_target = distances.to_target
+    to_target_get = distances.to_target.get
     for u, dist_su in from_source.items():
         if dist_su + 1 > k:
             continue
         for v in graph.out_neighbors(u):
-            dist_vt = to_target.get(v)
+            dist_vt = to_target_get(v)
             if dist_vt is None or dist_su + 1 + dist_vt > k:
                 continue
             label = label_edge(u, v, source, target, k, forward, backward)

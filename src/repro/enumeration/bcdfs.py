@@ -35,6 +35,7 @@ class BCDFS(PathEnumerator):
 
         # Static pruning index: exact distance to t, bounded by k.
         dist_to_target = bounded_bfs(graph, target, k, reverse=True)
+        dist_get = dist_to_target.get
         space.allocate(len(dist_to_target), category="distance-index")
 
         barrier: Dict[Vertex, int] = {}
@@ -70,7 +71,7 @@ class BCDFS(PathEnumerator):
                 if neighbor in on_stack:
                     blockers.add(neighbor)
                     continue
-                distance = dist_to_target.get(neighbor)
+                distance = dist_get(neighbor)
                 if distance is None or distance > remaining - 1:
                     continue
                 if barrier.get(neighbor, 0) >= remaining - 1:
@@ -99,7 +100,7 @@ class BCDFS(PathEnumerator):
                 for blocker in blockers:
                     blocked_by.setdefault(blocker, set()).add(vertex)
 
-        if dist_to_target.get(source) is None and source != target:
+        if dist_get(source) is None and source != target:
             return
         for ok, path in explore(source, k):
             if ok:

@@ -15,7 +15,7 @@ meeting at the vertex in position ``ceil(l/2)``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Mapping, Set, Tuple
 
 from repro._types import Vertex
 from repro.core.distances import bounded_bfs
@@ -35,7 +35,7 @@ class JoinEnumerator(PathEnumerator):
         start: Vertex,
         excluded: Vertex,
         max_hops: int,
-        prune_distances: Dict[Vertex, int],
+        prune_distances: Mapping[Vertex, int],
         total_budget: int,
         reverse: bool,
     ) -> Dict[Tuple[Vertex, int], List[Path]]:
@@ -48,6 +48,7 @@ class JoinEnumerator(PathEnumerator):
         """
         graph = self.graph
         space = self.space
+        prune_get = prune_distances.get
         groups: Dict[Tuple[Vertex, int], List[Path]] = {}
         stack: List[Vertex] = [start]
         on_stack: Set[Vertex] = {start}
@@ -68,7 +69,7 @@ class JoinEnumerator(PathEnumerator):
             for neighbor in neighbors:
                 if neighbor in on_stack or neighbor == excluded:
                     continue
-                other_side = prune_distances.get(neighbor)
+                other_side = prune_get(neighbor)
                 if other_side is None or depth + 1 + other_side > total_budget:
                     continue
                 stack.append(neighbor)

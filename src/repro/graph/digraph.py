@@ -21,6 +21,7 @@ Design notes
 from __future__ import annotations
 
 import hashlib
+from array import array
 from struct import pack
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -28,6 +29,29 @@ from repro._types import Edge, Vertex
 from repro.exceptions import EdgeError, GraphError, VertexError
 
 __all__ = ["DiGraph"]
+
+CSR = Tuple[array, array]
+
+
+def _build_csr(adjacency: Sequence[Sequence[Vertex]]) -> CSR:
+    """Flatten adjacency lists into ``(offsets, targets)`` ``array('q')`` pairs.
+
+    ``targets[offsets[u]:offsets[u + 1]]`` are the neighbours of ``u``.  The
+    compact layout is what the distance kernels in
+    :mod:`repro.core.distances` iterate: slicing an ``array('q')`` is a
+    single memcpy (no per-element refcounting), which makes neighbour scans
+    measurably faster than walking list-of-list adjacency in CPython.
+    """
+    offsets = array("q", [0])
+    targets = array("q")
+    append_offset = offsets.append
+    extend_targets = targets.extend
+    total = 0
+    for neighbors in adjacency:
+        total += len(neighbors)
+        append_offset(total)
+        extend_targets(neighbors)
+    return offsets, targets
 
 
 class DiGraph:
@@ -52,7 +76,18 @@ class DiGraph:
     [1, 2]
     """
 
-    __slots__ = ("_n", "_m", "_out", "_in", "_edge_set", "_fingerprint", "name")
+    __slots__ = (
+        "_n",
+        "_m",
+        "_out",
+        "_in",
+        "_edge_set",
+        "_fingerprint",
+        "_csr",
+        "_csr_rev",
+        "_max_degree",
+        "name",
+    )
 
     def __init__(
         self,
@@ -84,6 +119,9 @@ class DiGraph:
         self._edge_set = edge_set
         self._m = len(edge_set)
         self._fingerprint: Optional[str] = None
+        self._csr: Optional[CSR] = None
+        self._csr_rev: Optional[CSR] = None
+        self._max_degree: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -149,11 +187,23 @@ class DiGraph:
         return len(self._out[u]) + len(self._in[u])
 
     def max_degree(self) -> int:
-        """Return ``d_max``: the maximum of in- and out-degrees over vertices."""
-        best = 0
-        for u in range(self._n):
-            best = max(best, len(self._out[u]), len(self._in[u]))
-        return best
+        """Return ``d_max``: the maximum of in- and out-degrees over vertices.
+
+        Computed once and cached (the graph is immutable); reports and the
+        adaptive-search heuristics may call this per query without paying an
+        O(n) scan each time.
+        """
+        if self._max_degree is None:
+            best = 0
+            for u in range(self._n):
+                out_degree = len(self._out[u])
+                in_degree = len(self._in[u])
+                if out_degree > best:
+                    best = out_degree
+                if in_degree > best:
+                    best = in_degree
+            self._max_degree = best
+        return self._max_degree
 
     def average_degree(self) -> float:
         """Return ``d_avg = |E| / |V|`` (0 for the empty graph)."""
@@ -181,23 +231,63 @@ class DiGraph:
         return self._fingerprint
 
     # ------------------------------------------------------------------
+    # CSR views (flat-array adjacency for the distance kernels)
+    # ------------------------------------------------------------------
+    def csr(self) -> CSR:
+        """Return the cached ``(offsets, targets)`` CSR view of out-edges.
+
+        Both are ``array('q')``; ``targets[offsets[u]:offsets[u + 1]]`` are
+        the out-neighbours of ``u`` in adjacency order.  Built once per
+        (immutable) graph and shared by every query, thread and derived
+        :meth:`copy`/:meth:`reverse` graph; treat the arrays as read-only.
+        """
+        if self._csr is None:
+            self._csr = _build_csr(self._out)
+        return self._csr
+
+    def csr_reverse(self) -> CSR:
+        """Return the cached CSR view of in-edges (the reverse graph)."""
+        if self._csr_rev is None:
+            self._csr_rev = _build_csr(self._in)
+        return self._csr_rev
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def reverse(self) -> "DiGraph":
-        """Return the reverse graph ``G^r`` (every edge flipped)."""
-        reversed_graph = DiGraph(self._n, name=f"{self.name}-reversed")
-        # Build directly from the existing adjacency to avoid re-validation.
-        out: List[List[Vertex]] = [list(nbrs) for nbrs in self._in]
-        in_: List[List[Vertex]] = [list(nbrs) for nbrs in self._out]
-        reversed_graph._out = out
-        reversed_graph._in = in_
+        """Return the reverse graph ``G^r`` (every edge flipped).
+
+        Shares the (immutable) adjacency lists and any cached CSR views with
+        this graph — forward and reverse CSR simply swap roles — so deriving
+        the reverse graph never rebuilds or re-validates adjacency.
+        """
+        reversed_graph = DiGraph._shell(self._n, f"{self.name}-reversed")
+        reversed_graph._out = self._in
+        reversed_graph._in = self._out
         reversed_graph._edge_set = {(v, u) for (u, v) in self._edge_set}
         reversed_graph._m = self._m
+        reversed_graph._csr = self._csr_rev
+        reversed_graph._csr_rev = self._csr
+        reversed_graph._max_degree = self._max_degree
         return reversed_graph
 
     def copy(self, name: Optional[str] = None) -> "DiGraph":
-        """Return a structural copy of this graph."""
-        return DiGraph(self._n, self._edge_set, name=name or self.name)
+        """Return a copy of this graph (a distinct object, equal as a graph).
+
+        Both graphs are immutable, so the copy shares adjacency, edge set
+        and every cached view (CSR, fingerprint, max degree) instead of
+        re-validating and rebuilding them.
+        """
+        clone = DiGraph._shell(self._n, name or self.name)
+        clone._out = self._out
+        clone._in = self._in
+        clone._edge_set = self._edge_set
+        clone._m = self._m
+        clone._fingerprint = self._fingerprint
+        clone._csr = self._csr
+        clone._csr_rev = self._csr_rev
+        clone._max_degree = self._max_degree
+        return clone
 
     # ------------------------------------------------------------------
     # Interop / dunder helpers
@@ -257,3 +347,50 @@ class DiGraph:
     def empty(cls, num_vertices: int = 0, name: str = "empty") -> "DiGraph":
         """Return a graph with ``num_vertices`` vertices and no edges."""
         return cls(num_vertices, (), name=name)
+
+    @classmethod
+    def _shell(cls, num_vertices: int, name: str) -> "DiGraph":
+        """Bare instance with empty storage; internal fast path.
+
+        ``copy``/``reverse`` overwrite every structural field with shared
+        references, so building the usual per-vertex empty adjacency lists
+        in ``__init__`` would be pure waste.
+        """
+        graph = cls.__new__(cls)
+        graph._n = num_vertices
+        graph.name = name
+        graph._out = []
+        graph._in = []
+        graph._edge_set = set()
+        graph._m = 0
+        graph._fingerprint = None
+        graph._csr = None
+        graph._csr_rev = None
+        graph._max_degree = None
+        return graph
+
+    @classmethod
+    def _from_trusted_edges(
+        cls, num_vertices: int, edges: Iterable[Edge], name: str = "graph"
+    ) -> "DiGraph":
+        """Build a graph from edges already known to be valid.
+
+        Internal fast path for subgraph extraction: ``edges`` must be
+        in-range and loop-free (they come from an existing graph), so the
+        per-edge bounds checks of ``__init__`` are skipped.  Duplicates are
+        still collapsed, and insertion order is preserved so adjacency
+        order — and therefore any order-sensitive tie-breaking downstream —
+        stays deterministic.
+        """
+        graph = cls(num_vertices, (), name=name)
+        out = graph._out
+        in_ = graph._in
+        edge_set = graph._edge_set
+        for u, v in edges:
+            if (u, v) in edge_set:
+                continue
+            edge_set.add((u, v))
+            out[u].append(v)
+            in_[v].append(u)
+        graph._m = len(edge_set)
+        return graph

@@ -23,12 +23,12 @@ def edge_induced_subgraph(
 
     Vertex ids are preserved; the result has the same ``num_vertices`` as the
     input graph so vertex ids remain valid, but only the selected edges.
-    Edges not present in the parent graph raise ``EdgeError`` implicitly
-    through validation at construction; missing edges are filtered silently
-    to support label arrays computed over candidate spaces.
+    Edges missing from the parent graph are filtered silently to support
+    label arrays computed over candidate spaces; the survivors are known
+    valid, so construction skips per-edge re-validation.
     """
-    selected = [e for e in edges if graph.has_edge(*e)]
-    return DiGraph(graph.num_vertices, selected, name=name)
+    selected = (e for e in edges if graph.has_edge(*e))
+    return DiGraph._from_trusted_edges(graph.num_vertices, selected, name=name)
 
 
 def vertex_induced_subgraph(
@@ -36,11 +36,11 @@ def vertex_induced_subgraph(
 ) -> DiGraph:
     """Return the subgraph induced by ``vertices`` (ids preserved)."""
     keep: Set[Vertex] = set(vertices)
-    edges = [
+    edges = (
         (u, v)
-        for u in keep
+        for u in sorted(keep)
         if graph.has_vertex(u)
         for v in graph.out_neighbors(u)
         if v in keep
-    ]
-    return DiGraph(graph.num_vertices, edges, name=name)
+    )
+    return DiGraph._from_trusted_edges(graph.num_vertices, edges, name=name)

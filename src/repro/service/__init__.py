@@ -13,22 +13,30 @@ serving layer exploits.  This subsystem layers three things on top of
   ``(t, k)`` so the backward distance pass is computed once per group and
   reused via the hooks in :mod:`repro.core.distances`;
 * a **concurrent executor** (:func:`run_tasks`) — a thread pool with
-  deterministic result ordering and per-query error isolation.
+  deterministic result ordering and per-query error isolation;
+* a **scratch pool** (:class:`ScratchPool`) — reusable flat distance/mark
+  buffers for the CSR kernel, so cache misses allocate no per-query
+  distance storage at all.
 
 :class:`SPGEngine` ties them together and keeps :class:`EngineStats`
-(hit rate, latency quantiles, queries served).  The subsystem also ships a
-command line (``python -m repro.service``) that loads a dataset, reads
-JSON-lines queries from a file or stdin, and emits JSON results.
+(hit rate, latency quantiles, queries served, scratch reuse).  The
+subsystem also ships a command line (``python -m repro.service``) that
+loads a dataset, reads JSON-lines queries from a file or stdin, and emits
+JSON results; its ``--strategy`` flag selects the Figure-11 distance-search
+ablation path for the whole served workload.
 """
 
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
-from repro.service.engine import BatchReport, QueryOutcome, SPGEngine
+from repro.service.engine import BatchReport, EngineConfig, QueryOutcome, SPGEngine
 from repro.service.executor import TaskError, default_worker_count, run_tasks
 from repro.service.planner import BatchPlan, PlannedQuery, QueryGroup, plan_batch
+from repro.service.scratch import ScratchPool
 from repro.service.stats import EngineStats, LatencyWindow
 
 __all__ = [
     "SPGEngine",
+    "EngineConfig",
+    "ScratchPool",
     "QueryOutcome",
     "BatchReport",
     "ResultCache",

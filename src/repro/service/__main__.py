@@ -28,11 +28,10 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.core.distances import DISTANCE_STRATEGIES
-from repro.core.eve import EVEConfig
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.exceptions import ReproError
 from repro.graph.io import load_graph
-from repro.service.engine import QueryOutcome, SPGEngine
+from repro.service.engine import EngineConfig, QueryOutcome, SPGEngine
 from repro.service.workload_io import read_queries, write_outcome
 
 __all__ = ["build_parser", "main"]
@@ -79,10 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="smallest (target, k) group that shares a backward pass",
     )
     parser.add_argument(
+        "--strategy",
         "--distance-strategy",
+        dest="strategy",
         choices=DISTANCE_STRATEGIES,
         default="adaptive",
-        help="per-query distance strategy outside shared groups",
+        help=(
+            "distance-search strategy for served queries (the Figure 11 "
+            "ablation axis); shared-target groups still reuse one backward pass"
+        ),
     )
     parser.add_argument(
         "--no-verify",
@@ -149,16 +153,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     try:
-        config = EVEConfig(
-            distance_strategy=args.distance_strategy, verify=not args.no_verify
-        )
-        engine = SPGEngine(
-            graph,
-            config,
+        config = EngineConfig(
+            strategy=args.strategy,
+            verify=not args.no_verify,
             cache_size=args.cache_size,
             max_workers=args.workers,
             min_group_size=args.min_group_size,
         )
+        engine = SPGEngine.from_config(graph, config)
     except (ReproError, ValueError) as exc:
         print(f"error: invalid engine configuration: {exc}", file=sys.stderr)
         return 2

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from threading import Lock
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro._types import Edge, Vertex
 from repro.core.distances import backward_distance_map
@@ -32,11 +32,42 @@ from repro.queries.workload import Query
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
 from repro.service.executor import TaskError, run_tasks
 from repro.service.planner import QueryGroup, plan_batch
+from repro.service.scratch import ScratchPool
 from repro.service.stats import EngineStats
 
-__all__ = ["QueryOutcome", "BatchReport", "SPGEngine"]
+__all__ = ["EngineConfig", "QueryOutcome", "BatchReport", "SPGEngine"]
 
 QueryLike = object  # (s, t, k) tuple/list, Query, or {"source", "target", "k"} mapping
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One bundle of every knob an :class:`SPGEngine` deployment exposes.
+
+    Collects the EVE algorithm switches (notably ``strategy``, the
+    Figure-11 distance-search ablation axis) and the serving-layer tuning in
+    a single declarative object, so CLI flags, config files and tests can
+    construct engines from data.  ``SPGEngine.from_config(graph, config)``
+    is the companion constructor.
+    """
+
+    strategy: str = "adaptive"
+    forward_looking: bool = True
+    search_ordering: bool = True
+    verify: bool = True
+    cache_size: int = 1024
+    max_workers: Optional[int] = None
+    min_group_size: int = 2
+    latency_window: int = 4096
+
+    def eve_config(self) -> EVEConfig:
+        """The :class:`~repro.core.eve.EVEConfig` slice of this config."""
+        return EVEConfig(
+            distance_strategy=self.strategy,
+            forward_looking=self.forward_looking,
+            search_ordering=self.search_ordering,
+            verify=self.verify,
+        )
 
 
 @dataclass
@@ -130,11 +161,38 @@ class SPGEngine:
         self._config = config or EVEConfig()
         self._cache = ResultCache(cache_size) if cache_size > 0 else None
         self._stats = EngineStats(latency_window)
+        self._scratch = ScratchPool(self._stats)
         self._max_workers = max_workers
         self._min_group_size = min_group_size
         self._swap_lock = Lock()
         # Validate eagerly so a bad value fails at construction time.
         plan_batch([], min_group_size=min_group_size)
+        self._warm_graph(graph)
+
+    @staticmethod
+    def _warm_graph(graph: DiGraph) -> None:
+        """Force the graph's lazy caches on the caller thread.
+
+        The CSR views (and fingerprint) are built lazily and without
+        synchronization; warming them here keeps a cold batch's worker
+        threads from all racing to rebuild the same O(m) arrays.
+        """
+        graph.csr()
+        graph.csr_reverse()
+        graph.fingerprint()
+
+    @classmethod
+    def from_config(cls, graph: DiGraph, config: Optional[EngineConfig] = None) -> "SPGEngine":
+        """Build an engine from one declarative :class:`EngineConfig`."""
+        config = config or EngineConfig()
+        return cls(
+            graph,
+            config.eve_config(),
+            cache_size=config.cache_size,
+            max_workers=config.max_workers,
+            min_group_size=config.min_group_size,
+            latency_window=config.latency_window,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -155,6 +213,10 @@ class SPGEngine:
     def stats(self) -> EngineStats:
         return self._stats
 
+    @property
+    def scratch_pool(self) -> ScratchPool:
+        return self._scratch
+
     def stats_snapshot(self) -> Dict[str, object]:
         """Engine counters plus cache counters, as one JSON-friendly dict."""
         snapshot = self._stats.snapshot()
@@ -173,6 +235,7 @@ class SPGEngine:
         immediately instead (frees memory; swapping *back* to an equal
         graph then starts cold).
         """
+        self._warm_graph(graph)
         with self._swap_lock:
             self._graph = graph
             if clear_cache and self._cache is not None:
@@ -205,7 +268,8 @@ class SPGEngine:
                 return hit
         started = time.perf_counter()
         try:
-            result = EVE(graph, self._config).query(source, target, k)
+            with self._scratch.borrow() as scratch:
+                result = EVE(graph, self._config).query(source, target, k, scratch=scratch)
         except Exception:
             self._stats.record_query(
                 time.perf_counter() - started, cached=False, error=True
@@ -408,9 +472,14 @@ class SPGEngine:
             reused = shared is not None
             query_started = time.perf_counter()
             try:
-                result = engine.query(
-                    planned.source, planned.target, planned.k, shared_backward=shared
-                )
+                with self._scratch.borrow() as scratch:
+                    result = engine.query(
+                        planned.source,
+                        planned.target,
+                        planned.k,
+                        shared_backward=shared,
+                        scratch=scratch,
+                    )
             except Exception as exc:  # noqa: BLE001 - per-query isolation
                 out.append(
                     (planned.index, None, exc, time.perf_counter() - query_started, reused)

@@ -4,9 +4,13 @@ EVE's backward distance pass depends only on ``(t, k)``, never on the
 source (see :func:`repro.core.distances.backward_distance_map`).  The
 planner therefore buckets a batch by ``(t, k)``: every group of two or more
 queries computes that pass once and shares it, turning ``n`` backward
-searches into one.  Groups and the queries inside them keep the order of
-first appearance in the batch, so planning is deterministic and results can
-be slotted back by index.
+searches into one.  Since the CSR refactor the shared pass runs on the
+graph's cached flat-array adjacency and returns an owned
+:class:`~repro.core.distances.ArrayDistanceMap` — safe to share across the
+group's queries and threads, while each member's forward search runs on
+pooled scratch buffers.  Groups and the queries inside them keep the order
+of first appearance in the batch, so planning is deterministic and results
+can be slotted back by index.
 """
 
 from __future__ import annotations

@@ -1,0 +1,121 @@
+"""Scratch-buffer pooling: zero per-query allocation on the serving path.
+
+The CSR distance kernel (:mod:`repro.core.distances`) runs on flat
+``dist``/``stamp`` buffers bundled in a
+:class:`~repro.core.distances.DistanceScratch`.  Allocating those buffers
+per query would cost O(num_vertices) per cache miss; :class:`ScratchPool`
+keeps them alive between queries instead.  Workers borrow a scratch for the
+duration of one query and return it; the epoch-stamp reset makes reuse
+O(1), so a warmed-up engine answers cache misses without allocating any
+distance or visited-mark storage at all.
+
+The pool is unbounded by design: it can never hold more scratches than the
+peak number of concurrent borrowers (the engine's thread-pool width), so
+memory is bounded by ``max_workers * 2 * num_vertices`` machine ints.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from threading import Lock
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.distances import DistanceScratch
+
+__all__ = ["ScratchPool"]
+
+
+class ScratchPool:
+    """A thread-safe free list of :class:`DistanceScratch` buffers.
+
+    Parameters
+    ----------
+    stats:
+        Optional :class:`repro.service.stats.EngineStats`; every acquire is
+        then recorded as a scratch allocation or reuse, which is how the
+        throughput benchmark asserts the batch path allocates no per-query
+        distance buffers.
+    """
+
+    def __init__(self, stats: Optional[object] = None) -> None:
+        self._lock = Lock()
+        self._free: List[DistanceScratch] = []
+        self._stats = stats
+        # Local counters are only the source of truth for standalone pools;
+        # with an EngineStats attached, every checkout is recorded there
+        # instead and the properties below read it back, so there is exactly
+        # one set of counters (and EngineStats.reset() resets both views).
+        self._local_allocations = 0
+        self._local_reuses = 0
+
+    @property
+    def allocations(self) -> int:
+        """Scratches created because the pool was empty at acquire time."""
+        if self._stats is not None:
+            return self._stats.scratch_allocations
+        return self._local_allocations
+
+    @property
+    def reuses(self) -> int:
+        """Acquires served from the free list without allocating."""
+        if self._stats is not None:
+            return self._stats.scratch_reuses
+        return self._local_reuses
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> DistanceScratch:
+        """Check out a scratch (reusing a pooled one when available)."""
+        record_locally = self._stats is None
+        with self._lock:
+            if self._free:
+                scratch = self._free.pop()
+                reused = True
+                if record_locally:
+                    self._local_reuses += 1
+            else:
+                scratch = DistanceScratch()
+                reused = False
+                if record_locally:
+                    self._local_allocations += 1
+        if not record_locally:
+            self._stats.record_scratch(reused=reused)
+        return scratch
+
+    def release(self, scratch: DistanceScratch) -> None:
+        """Return a scratch to the pool for the next query."""
+        with self._lock:
+            self._free.append(scratch)
+
+    @contextmanager
+    def borrow(self) -> Iterator[DistanceScratch]:
+        """Context-managed acquire/release around one query execution."""
+        scratch = self.acquire()
+        try:
+            yield scratch
+        finally:
+            self.release(scratch)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop pooled buffers (e.g. after swapping to a much smaller graph)."""
+        with self._lock:
+            self._free.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time counters (JSON friendly)."""
+        with self._lock:
+            return {
+                "allocations": self.allocations,
+                "reuses": self.reuses,
+                "idle": len(self._free),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScratchPool(idle={len(self)}, allocations={self.allocations}, "
+            f"reuses={self.reuses})"
+        )

@@ -81,6 +81,8 @@ class EngineStats:
         self.cache_misses = 0
         self.errors = 0
         self.shared_backward_reuses = 0
+        self.scratch_allocations = 0
+        self.scratch_reuses = 0
 
     # ------------------------------------------------------------------
     def record_query(
@@ -109,6 +111,24 @@ class EngineStats:
         with self._lock:
             self.batches_served += 1
 
+    def record_scratch(self, *, reused: bool) -> None:
+        """Record one scratch-buffer checkout (allocation vs pool reuse).
+
+        Every *executed* query checks out exactly one scratch, so on a
+        workload where every query actually runs (no malformed batch entries,
+        no duplicates of a failed primary — those are recorded as cache
+        misses without executing), ``scratch_allocations + scratch_reuses ==
+        cache_misses``.  Unconditionally, ``scratch_allocations`` stays
+        bounded by the peak number of concurrent workers — that is the
+        "zero per-query allocation" property the throughput benchmark
+        asserts.
+        """
+        with self._lock:
+            if reused:
+                self.scratch_reuses += 1
+            else:
+                self.scratch_allocations += 1
+
     # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
@@ -134,6 +154,8 @@ class EngineStats:
                 "hit_rate": self.cache_hits / total if total else 0.0,
                 "errors": self.errors,
                 "shared_backward_reuses": self.shared_backward_reuses,
+                "scratch_allocations": self.scratch_allocations,
+                "scratch_reuses": self.scratch_reuses,
                 "p50_ms": self._latencies.quantile(0.50) * 1000.0,
                 "p95_ms": self._latencies.quantile(0.95) * 1000.0,
                 "p99_ms": self._latencies.quantile(0.99) * 1000.0,
@@ -150,6 +172,8 @@ class EngineStats:
             self.cache_misses = 0
             self.errors = 0
             self.shared_backward_reuses = 0
+            self.scratch_allocations = 0
+            self.scratch_reuses = 0
 
     def __repr__(self) -> str:
         return (
