@@ -290,6 +290,57 @@ class DiGraph:
         return clone
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the graph compactly for process-pool workers.
+
+        Only the two CSR views (built on demand — a worker needs them
+        anyway, and the ``array('q')`` pairs pickle as raw bytes) and the
+        cached fingerprint travel; carrying the fingerprint lets a worker
+        verify it serves the parent's exact graph without re-hashing the
+        edge set.  The adjacency lists and edge set are fully redundant
+        with the CSR views and are rebuilt — in the parent's exact
+        adjacency order — in O(m) on unpickling, keeping the payload far
+        under the naive pickle of every field (lists of boxed ints).
+        """
+        return {
+            "n": self._n,
+            "name": self.name,
+            "fingerprint": self._fingerprint,
+            "csr": self.csr(),
+            "csr_rev": self.csr_reverse(),
+            "max_degree": self._max_degree,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._n = state["n"]
+        self.name = state["name"]
+        self._csr = state["csr"]
+        self._csr_rev = state["csr_rev"]
+        # Rebuild the redundant views by slicing the carried CSR arrays,
+        # which preserves the parent's exact adjacency order (and thereby
+        # any order-sensitive traversal downstream).
+        out_offsets, out_targets = self._csr
+        self._out = [
+            list(out_targets[out_offsets[u]:out_offsets[u + 1]])
+            for u in range(self._n)
+        ]
+        in_offsets, in_targets = self._csr_rev
+        self._in = [
+            list(in_targets[in_offsets[u]:in_offsets[u + 1]])
+            for u in range(self._n)
+        ]
+        edge_set: Set[Edge] = set()
+        for u, neighbors in enumerate(self._out):
+            for v in neighbors:
+                edge_set.add((u, v))
+        self._edge_set = edge_set
+        self._m = len(edge_set)
+        self._fingerprint = state["fingerprint"]
+        self._max_degree = state["max_degree"]
+
+    # ------------------------------------------------------------------
     # Interop / dunder helpers
     # ------------------------------------------------------------------
     def to_edge_list(self) -> List[Edge]:

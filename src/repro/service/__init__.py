@@ -3,7 +3,7 @@
 The core library answers one ``<s, t, k>`` query at a time, cold.  Real
 deployments (the paper's fraud-screening motivation) issue *batches* of
 queries against one mostly-static graph, which is exactly the shape a
-serving layer exploits.  This subsystem layers three things on top of
+serving layer exploits.  This subsystem layers four things on top of
 :class:`repro.core.eve.EVE` without changing any answer:
 
 * a **result cache** (:class:`ResultCache`) — LRU keyed on
@@ -12,23 +12,45 @@ serving layer exploits.  This subsystem layers three things on top of
 * a **batch planner** (:func:`plan_batch`) — groups queries sharing
   ``(t, k)`` so the backward distance pass is computed once per group and
   reused via the hooks in :mod:`repro.core.distances`;
-* a **concurrent executor** (:func:`run_tasks`) — a thread pool with
-  deterministic result ordering and per-query error isolation;
+* **pluggable executor backends** (:mod:`repro.service.executor`) —
+  ``serial``, ``thread``, ``process`` (a warm
+  :class:`~concurrent.futures.ProcessPoolExecutor` that runs CPU-bound EVE
+  queries truly in parallel) and ``async`` (awaitable fan-out for event-loop
+  callers), all with deterministic result ordering and per-query error
+  isolation, all producing identical batch reports;
 * a **scratch pool** (:class:`ScratchPool`) — reusable flat distance/mark
   buffers for the CSR kernel, so cache misses allocate no per-query
-  distance storage at all.
+  distance storage at all (process workers keep one scratch each).
 
 :class:`SPGEngine` ties them together and keeps :class:`EngineStats`
-(hit rate, latency quantiles, queries served, scratch reuse).  The
-subsystem also ships a command line (``python -m repro.service``) that
-loads a dataset, reads JSON-lines queries from a file or stdin, and emits
-JSON results; its ``--strategy`` flag selects the Figure-11 distance-search
-ablation path for the whole served workload.
+(hit rate, latency quantiles, queries served, scratch reuse); batches run
+synchronously (:meth:`SPGEngine.run_batch` / :meth:`SPGEngine.run_stream`)
+or from an event loop (:meth:`SPGEngine.run_batch_async` /
+:meth:`SPGEngine.astream`).  The subsystem also ships a command line
+(``python -m repro.service``) that loads a dataset, reads JSON-lines
+queries from a file or stdin, and emits JSON results; ``--strategy``
+selects the Figure-11 distance-search ablation path and ``--backend`` the
+executor backend for the whole served workload.
 """
 
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
 from repro.service.engine import BatchReport, EngineConfig, QueryOutcome, SPGEngine
-from repro.service.executor import TaskError, default_worker_count, run_tasks
+from repro.service.executor import (
+    BACKEND_ENV_VAR,
+    EXECUTOR_BACKENDS,
+    AsyncBackend,
+    Call,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    TaskError,
+    ThreadBackend,
+    create_backend,
+    default_worker_count,
+    resolve_backend_name,
+    run_tasks,
+    run_tasks_async,
+)
 from repro.service.planner import BatchPlan, PlannedQuery, QueryGroup, plan_batch
 from repro.service.scratch import ScratchPool
 from repro.service.stats import EngineStats, LatencyWindow
@@ -47,8 +69,19 @@ __all__ = [
     "PlannedQuery",
     "plan_batch",
     "run_tasks",
+    "run_tasks_async",
     "TaskError",
+    "Call",
     "default_worker_count",
+    "EXECUTOR_BACKENDS",
+    "BACKEND_ENV_VAR",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "AsyncBackend",
+    "create_backend",
+    "resolve_backend_name",
     "EngineStats",
     "LatencyWindow",
 ]

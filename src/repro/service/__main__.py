@@ -32,6 +32,7 @@ from repro.datasets.registry import dataset_names, load_dataset
 from repro.exceptions import ReproError
 from repro.graph.io import load_graph
 from repro.service.engine import EngineConfig, QueryOutcome, SPGEngine
+from repro.service.executor import EXECUTOR_BACKENDS
 from repro.service.workload_io import read_queries, write_outcome
 
 __all__ = ["build_parser", "main"]
@@ -66,7 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL query file, or '-' for stdin (default)",
     )
     parser.add_argument(
-        "--workers", type=int, default=None, help="thread-pool size (default: CPUs)"
+        "--workers",
+        type=int,
+        default=None,
+        help="executor pool size (default: available CPUs)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=EXECUTOR_BACKENDS,
+        default=None,
+        help=(
+            "executor backend for the batch (default: $REPRO_EXECUTOR_BACKEND "
+            "or 'thread'; 'process' runs CPU-bound queries on multiple cores)"
+        ),
     )
     parser.add_argument(
         "--cache-size", type=int, default=1024, help="LRU entries (0 disables caching)"
@@ -159,6 +172,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_size=args.cache_size,
             max_workers=args.workers,
             min_group_size=args.min_group_size,
+            executor_backend=args.backend,
         )
         engine = SPGEngine.from_config(graph, config)
     except (ReproError, ValueError) as exc:
@@ -166,7 +180,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     translated, failed = _translate(raw_queries, builder)
-    report = engine.run_batch(translated)
+    with engine:
+        report = engine.run_batch(translated)
 
     # Interleave engine outcomes with translation failures in input order.
     # Engine outcomes use dense ids; map them back to the edge file's own

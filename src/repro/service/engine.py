@@ -1,43 +1,80 @@
-"""The SPG serving engine: cache + batch planner + concurrent executor.
+"""The SPG serving engine: cache + batch planner + pluggable executor.
 
 :class:`SPGEngine` owns one :class:`~repro.graph.digraph.DiGraph` and one
 :class:`~repro.core.eve.EVEConfig` and answers single queries
-(:meth:`SPGEngine.query`), batches (:meth:`SPGEngine.run_batch`) and
-streamed workloads (:meth:`SPGEngine.run_stream`).  Three guarantees hold
-regardless of cache state, planning or parallelism:
+(:meth:`SPGEngine.query`), batches (:meth:`SPGEngine.run_batch` /
+:meth:`SPGEngine.run_batch_async`) and streamed workloads
+(:meth:`SPGEngine.run_stream` / :meth:`SPGEngine.astream`).  Batches execute
+on a pluggable :class:`~repro.service.executor.ExecutorBackend` (``serial``,
+``thread``, ``process`` or ``async``); four guarantees hold regardless of
+cache state, planning, backend or parallelism:
 
 * **identical answers** — every result equals what a cold per-query
   :func:`repro.core.eve.build_spg` on the same graph/config returns;
 * **deterministic ordering** — ``run_batch`` returns outcomes in input
-  order, whatever the thread pool does;
+  order, whatever the pool does;
 * **error isolation** — one bad query (unknown vertex, ``s == t``, ...)
   yields an errored :class:`QueryOutcome`; the rest of the batch is
-  unaffected.
+  unaffected;
+* **backend equivalence** — every backend produces the same
+  :class:`BatchReport` (the differential harness in
+  ``tests/test_executor_backends.py`` enforces this).
+
+Process-backend mechanics: the engine builds its pool with an initializer
+that installs the (pickled or fork-shared) graph, the config, and one
+reusable :class:`~repro.core.distances.DistanceScratch` per worker; each
+planned group then crosses the boundary as a small picklable payload, and
+every payload carries the parent graph's fingerprint so a desynchronised
+worker fails loudly instead of answering against a stale graph.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from threading import Lock
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    AsyncIterator,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro._types import Edge, Vertex
-from repro.core.distances import backward_distance_map
+from repro.core.distances import DistanceScratch, backward_distance_map
 from repro.core.eve import EVE, EVEConfig
 from repro.core.result import SimplePathGraphResult
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
 from repro.queries.workload import Query
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
-from repro.service.executor import TaskError, run_tasks
-from repro.service.planner import QueryGroup, plan_batch
+from repro.service.executor import (
+    Call,
+    ExecutorBackend,
+    TaskError,
+    create_backend,
+    default_worker_count,
+    resolve_backend_name,
+)
+from repro.service.planner import BatchPlan, QueryGroup, plan_batch
 from repro.service.scratch import ScratchPool
 from repro.service.stats import EngineStats
 
 __all__ = ["EngineConfig", "QueryOutcome", "BatchReport", "SPGEngine"]
 
 QueryLike = object  # (s, t, k) tuple/list, Query, or {"source", "target", "k"} mapping
+
+#: ``(plan position, result, exception, latency seconds, reused backward)``
+GroupResult = List[
+    Tuple[int, Optional[SimplePathGraphResult], Optional[BaseException], float, bool]
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +86,13 @@ class EngineConfig:
     a single declarative object, so CLI flags, config files and tests can
     construct engines from data.  ``SPGEngine.from_config(graph, config)``
     is the companion constructor.
+
+    ``executor_backend`` selects how batches execute (see
+    :data:`repro.service.executor.EXECUTOR_BACKENDS`); ``None`` defers to
+    the ``REPRO_EXECUTOR_BACKEND`` environment variable and finally to
+    ``"thread"``.  Note that process workers only ever receive the graph
+    plus the :meth:`eve_config` slice of this config — the serving-layer
+    knobs (cache, planner, pool sizing) live exclusively in the parent.
     """
 
     strategy: str = "adaptive"
@@ -59,6 +103,7 @@ class EngineConfig:
     max_workers: Optional[int] = None
     min_group_size: int = 2
     latency_window: int = 4096
+    executor_backend: Optional[str] = None
 
     def eve_config(self) -> EVEConfig:
         """The :class:`~repro.core.eve.EVEConfig` slice of this config."""
@@ -125,6 +170,180 @@ class BatchReport:
         return sum(1 for outcome in self.outcomes if outcome.ok)
 
 
+# ----------------------------------------------------------------------
+# Group execution, shared by every backend
+# ----------------------------------------------------------------------
+def _execute_group(
+    graph: DiGraph,
+    config: EVEConfig,
+    group: QueryGroup,
+    borrow_scratch,
+) -> GroupResult:
+    """Run one planned group sequentially, isolating per-query errors.
+
+    ``borrow_scratch`` is a zero-argument context manager factory yielding a
+    :class:`DistanceScratch` for one query (the engine's pool in-process, a
+    worker-local scratch across the process boundary).  Returns
+    ``(plan position, result, exception, latency, reused)`` tuples.  The
+    shared backward pass is computed once for groups the planner marked
+    ``shared``; when that precomputation itself fails (e.g. the common
+    target is not a vertex), each query falls through to the cold path and
+    reports the error individually.
+    """
+    shared = None
+    if group.shared:
+        try:
+            shared = backward_distance_map(graph, group.target, group.k)
+        except Exception:
+            shared = None
+    engine = EVE(graph, config)
+    out: GroupResult = []
+    for planned in group.queries:
+        reused = shared is not None
+        query_started = time.perf_counter()
+        try:
+            with borrow_scratch() as scratch:
+                result = engine.query(
+                    planned.source,
+                    planned.target,
+                    planned.k,
+                    shared_backward=shared,
+                    scratch=scratch,
+                )
+        except Exception as exc:  # noqa: BLE001 - per-query isolation
+            out.append(
+                (planned.index, None, exc, time.perf_counter() - query_started, reused)
+            )
+        else:
+            out.append(
+                (planned.index, result, None, time.perf_counter() - query_started, reused)
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker state (one copy per worker process)
+# ----------------------------------------------------------------------
+_worker_graph: Optional[DiGraph] = None
+_worker_config: Optional[EVEConfig] = None
+_worker_scratch: Optional[DistanceScratch] = None
+
+
+def _init_process_worker(graph: DiGraph, config: EVEConfig) -> None:
+    """Pool initializer: install the graph, config and scratch in this worker.
+
+    Runs exactly once per worker process — the one-time pickling (or
+    ``fork`` copy-on-write share) of the graph that replaces any per-task
+    graph shipping.  The CSR views and fingerprint are warmed eagerly so the
+    first served group does not pay the O(m) rebuild.
+    """
+    global _worker_graph, _worker_config, _worker_scratch
+    graph.csr()
+    graph.csr_reverse()
+    graph.fingerprint()
+    _worker_graph = graph
+    _worker_config = config
+    _worker_scratch = DistanceScratch()
+
+
+@contextmanager
+def _worker_borrow():
+    """Hand out this worker's scratch (workers run one group at a time)."""
+    yield _worker_scratch
+
+
+def _process_run_group(fingerprint: str, group: QueryGroup) -> GroupResult:
+    """Worker-side group runner for the process backend.
+
+    ``fingerprint`` is the parent engine's view of the served graph; a
+    mismatch means this worker was initialised against a different graph
+    (e.g. a swap raced pool construction) and must fail loudly rather than
+    silently answer against stale data.
+    """
+    if _worker_graph is None or _worker_config is None:
+        raise RuntimeError("process worker used before initialisation")
+    if fingerprint != _worker_graph.fingerprint():
+        raise RuntimeError(
+            f"process worker graph fingerprint {_worker_graph.fingerprint()} "
+            f"does not match batch fingerprint {fingerprint}"
+        )
+    return _execute_group(_worker_graph, _worker_config, group, _worker_borrow)
+
+
+def _warm_backend(backend: ExecutorBackend) -> ExecutorBackend:
+    """Eagerly spawn a backend's workers when it supports warming.
+
+    The async entry points call this from a helper thread so a cold process
+    pool's worker start-up (forkserver round trip + per-worker graph
+    pickling) never stalls the event loop; warmed pools return immediately.
+    """
+    warm = getattr(backend, "warm", None)
+    if warm is not None:
+        warm()
+    return backend
+
+
+class _TransientStreamBackend:
+    """Holder for a stream's width-override backend, revalidated per chunk.
+
+    Mirrors ``SPGEngine._ensure_backend`` for the transient case: a process
+    backend whose pool broke, or whose workers were initialised against a
+    graph the engine has since swapped away from, is closed and rebuilt so
+    the remainder of the stream keeps answering instead of erroring on the
+    worker-side fingerprint check.
+    """
+
+    def __init__(self, engine: "SPGEngine", max_workers: int) -> None:
+        self._engine = engine
+        self._max_workers = max_workers
+        self._backend: Optional[ExecutorBackend] = None
+        self._fingerprint: Optional[str] = None
+
+    def get(self) -> ExecutorBackend:
+        engine = self._engine
+        graph = engine._graph
+        backend = self._backend
+        if backend is not None and engine._backend_is_stale(
+            backend, self._fingerprint, graph
+        ):
+            backend.close()
+            backend = None
+        if backend is None:
+            backend = engine._build_backend(self._max_workers, graph)
+            self._backend = backend
+            self._fingerprint = graph.fingerprint()
+        return backend
+
+    def get_warm(self) -> ExecutorBackend:
+        """:meth:`get` plus an eager worker spawn (see :func:`_warm_backend`)."""
+        return _warm_backend(self.get())
+
+    def close(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    async def aclose(self) -> None:
+        backend = self._backend
+        self._backend = None
+        if backend is not None:
+            await backend.aclose()
+
+
+@dataclass
+class _PreparedBatch:
+    """Everything ``run_batch`` computes before tasks are handed to a backend."""
+
+    graph: DiGraph
+    fingerprint: str
+    normalized: List[Optional[Tuple[Vertex, Vertex, int]]]
+    outcomes: List[Optional[QueryOutcome]]
+    pending: Dict[CacheKey, List[int]]
+    primaries: List[Tuple[CacheKey, int]]
+    plan: BatchPlan
+    use_cache: bool
+
+
 class SPGEngine:
     """A serving engine for SPG queries over one (mostly static) graph.
 
@@ -137,14 +356,19 @@ class SPGEngine:
     cache_size:
         Maximum LRU entries; ``0`` disables the result cache entirely.
     max_workers:
-        Default thread-pool size for batches (``None`` = CPU count, capped).
-        Pure-Python EVE is GIL-bound, so the wins come from caching and
-        shared planning; the pool mainly keeps large heterogeneous batches
-        responsive and exercises the same code paths an async/process
-        backend will use.
+        Default pool size for batches (``None`` = available CPUs, capped).
     min_group_size:
         Smallest ``(target, k)`` group that precomputes a shared backward
         pass (must be >= 2).
+    executor_backend:
+        One of :data:`repro.service.executor.EXECUTOR_BACKENDS`.  ``None``
+        defers to ``$REPRO_EXECUTOR_BACKEND``, then ``"thread"``.  The
+        ``process`` backend is the one that actually runs CPU-bound EVE
+        queries on multiple cores (threads are GIL-bound); it pays a
+        one-time pool spin-up + graph share per served graph, so it wins on
+        multi-query CPU-bound batches and loses on tiny ones.  Pools are
+        built lazily, kept warm across batches, and released by
+        :meth:`close` (the engine is also a context manager).
     """
 
     def __init__(
@@ -156,6 +380,7 @@ class SPGEngine:
         max_workers: Optional[int] = None,
         min_group_size: int = 2,
         latency_window: int = 4096,
+        executor_backend: Optional[str] = None,
     ) -> None:
         self._graph = graph
         self._config = config or EVEConfig()
@@ -165,6 +390,12 @@ class SPGEngine:
         self._max_workers = max_workers
         self._min_group_size = min_group_size
         self._swap_lock = Lock()
+        # Fail fast on bad names instead of at first batch.
+        self._backend_name = resolve_backend_name(executor_backend)
+        self._backend: Optional[ExecutorBackend] = None
+        self._backend_fingerprint: Optional[str] = None
+        self._backend_finalizer: Optional[weakref.finalize] = None
+        self._backend_lock = Lock()
         # Validate eagerly so a bad value fails at construction time.
         plan_batch([], min_group_size=min_group_size)
         self._warm_graph(graph)
@@ -192,6 +423,7 @@ class SPGEngine:
             max_workers=config.max_workers,
             min_group_size=config.min_group_size,
             latency_window=config.latency_window,
+            executor_backend=config.executor_backend,
         )
 
     # ------------------------------------------------------------------
@@ -217,11 +449,144 @@ class SPGEngine:
     def scratch_pool(self) -> ScratchPool:
         return self._scratch
 
+    @property
+    def executor_backend(self) -> str:
+        """Name of the backend batches execute on."""
+        return self._backend_name
+
     def stats_snapshot(self) -> Dict[str, object]:
         """Engine counters plus cache counters, as one JSON-friendly dict."""
         snapshot = self._stats.snapshot()
         snapshot["cache"] = self._cache.stats() if self._cache is not None else None
+        snapshot["executor_backend"] = self._backend_name
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Backend lifecycle
+    # ------------------------------------------------------------------
+    def _build_backend(
+        self, max_workers: Optional[int], graph: Optional[DiGraph] = None
+    ) -> ExecutorBackend:
+        if self._backend_name == "process":
+            graph = self._graph if graph is None else graph
+            return create_backend(
+                "process",
+                max_workers,
+                initializer=_init_process_worker,
+                initargs=(graph, self._config),
+            )
+        return create_backend(self._backend_name, max_workers)
+
+    def _backend_is_stale(
+        self,
+        backend: ExecutorBackend,
+        recorded_fingerprint: Optional[str],
+        graph: DiGraph,
+    ) -> bool:
+        """Whether ``backend`` can no longer serve ``graph`` and must rebuild.
+
+        Only the process backend can go stale: its workers are pinned to
+        the graph they were initialised with (compared by fingerprint) and
+        its pool can break on a worker death.  In-process backends share
+        the parent's memory and never need rebuilding.
+        """
+        return self._backend_name == "process" and (
+            getattr(backend, "broken", False)
+            or recorded_fingerprint != graph.fingerprint()
+        )
+
+    def _is_default_width(self, max_workers: int) -> bool:
+        """Whether an explicit width equals the engine's resolved default."""
+        configured = (
+            self._max_workers
+            if self._max_workers is not None
+            else default_worker_count()
+        )
+        return max_workers == configured
+
+    def _ensure_backend(self) -> ExecutorBackend:
+        """Return the persistent backend, (re)building it when necessary.
+
+        A process backend is pinned to the graph its workers were
+        initialised with: swapping to a graph with a different fingerprint
+        (or a broken pool after a worker death) closes the old pool and
+        lazily builds a fresh one.  Thread/serial/async backends share the
+        parent's memory and survive swaps untouched.  The graph is read
+        exactly once so a swap racing this method cannot record a
+        fingerprint for a pool initialised against a different graph; a
+        batch prepared against the other graph then fails loudly on the
+        worker-side fingerprint check and the *next* batch rebuilds.
+        """
+        with self._backend_lock:
+            graph = self._graph
+            backend = self._backend
+            if backend is not None and self._backend_is_stale(
+                backend, self._backend_fingerprint, graph
+            ):
+                backend.close()
+                backend = None
+            if backend is None:
+                backend = self._build_backend(self._max_workers, graph)
+                self._backend = backend
+                self._backend_fingerprint = graph.fingerprint()
+                # Engines dropped without close() must not leak warm pools
+                # (process workers would outlive the engine until exit).
+                # Exactly one finalizer is kept: the superseded one is
+                # detached so rebuilds do not accumulate dead backends.
+                if self._backend_finalizer is not None:
+                    self._backend_finalizer.detach()
+                self._backend_finalizer = weakref.finalize(self, backend.close)
+            return backend
+
+    def _checkout_backend(
+        self, max_workers: Optional[int]
+    ) -> Tuple[ExecutorBackend, bool]:
+        """Return ``(backend, transient)`` for one batch execution.
+
+        ``max_workers=None`` — or any width equal to the engine's resolved
+        default — reuses the warm persistent backend; a genuinely different
+        width gets a one-shot backend that the caller must close after the
+        batch.  With the process backend that one-shot pays pool spin-up
+        plus a graph re-ship per call, so steady-state callers should size
+        the engine once instead of overriding per batch.
+        """
+        if max_workers is None or self._is_default_width(max_workers):
+            return self._ensure_backend(), False
+        return self._build_backend(max_workers), True
+
+    def _checkout_backend_warm(
+        self, max_workers: Optional[int]
+    ) -> Tuple[ExecutorBackend, bool]:
+        """:meth:`_checkout_backend` plus an eager worker spawn.
+
+        Used by the async entry points (from a helper thread): warming a
+        cold process pool here means the event loop never blocks on worker
+        start-up inside the first ``submit``.
+        """
+        backend, transient = self._checkout_backend(max_workers)
+        return _warm_backend(backend), transient
+
+    def close(self) -> None:
+        """Shut down the executor backend (idempotent; pools are released).
+
+        The engine remains usable afterwards — the next batch lazily builds
+        a fresh backend — so ``close()`` doubles as a "drop warm workers"
+        hint for long-idle engines.
+        """
+        with self._backend_lock:
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
+                self._backend_fingerprint = None
+            if self._backend_finalizer is not None:
+                self._backend_finalizer.detach()
+                self._backend_finalizer = None
+
+    def __enter__(self) -> "SPGEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Graph lifecycle
@@ -233,7 +598,9 @@ class SPGEngine:
         old graph can never answer queries against the new one — they age
         out of the LRU naturally.  Pass ``clear_cache=True`` to drop them
         immediately instead (frees memory; swapping *back* to an equal
-        graph then starts cold).
+        graph then starts cold).  A process backend initialised for a
+        different graph is rebuilt lazily on the next batch (swapping to an
+        *equal* graph keeps its warm workers).
         """
         self._warm_graph(graph)
         with self._swap_lock:
@@ -296,13 +663,182 @@ class SPGEngine:
         :class:`repro.queries.workload.Query` objects, or mappings with
         ``source`` / ``target`` / ``k`` keys.  Outcomes come back in input
         order; per-query failures — including malformed entries that cannot
-        be normalised — are isolated into errored outcomes.
+        be normalised — are isolated into errored outcomes.  Execution runs
+        on the engine's configured backend; the report is identical for
+        every backend.
         """
+        backend, transient = self._checkout_backend(max_workers)
+        try:
+            return self._run_batch_on(backend, queries, use_cache)
+        finally:
+            if transient:
+                backend.close()
+
+    async def run_batch_async(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> BatchReport:
+        """Awaitable :meth:`run_batch` with an identical report.
+
+        Group execution is offloaded to the engine's backend pool and
+        awaited, so the event loop stays responsive while EVE runs; with the
+        ``process`` backend the batch is simultaneously async *and* truly
+        parallel across cores.  Overlapping calls on one engine are safe —
+        cache, stats and scratch pool are thread-safe — and each batch still
+        returns outcomes in its own input order.
+        """
+        loop = asyncio.get_running_loop()
+        # Checking out may close, rebuild and warm a stale process pool
+        # (blocking teardown, worker spawn, graph re-ship); keep all of it
+        # off the event loop thread.
+        backend, transient = await loop.run_in_executor(
+            None, self._checkout_backend_warm, max_workers
+        )
+        try:
+            return await self._run_batch_async_on(backend, queries, use_cache)
+        finally:
+            if transient:
+                await backend.aclose()
+
+    def run_stream(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        batch_size: int = 64,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> Iterator[QueryOutcome]:
+        """Serve an unbounded query stream in bounded-memory chunks.
+
+        Outcomes are yielded in input order; each chunk of ``batch_size``
+        queries goes through the full batch pipeline (cache, planner,
+        executor), so a stream with repeated or target-grouped queries gets
+        the same wins as an explicit batch.
+        """
+        if batch_size < 1:
+            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+        stream_backend = self._checkout_stream_backend(max_workers)
+
+        def flush(chunk: List[QueryLike]) -> BatchReport:
+            if stream_backend is not None:
+                return self._run_batch_on(stream_backend.get(), chunk, use_cache)
+            return self.run_batch(chunk, max_workers=max_workers, use_cache=use_cache)
+
+        try:
+            chunk: List[QueryLike] = []
+            for query in queries:
+                chunk.append(query)
+                if len(chunk) >= batch_size:
+                    yield from flush(chunk)
+                    chunk = []
+            if chunk:
+                yield from flush(chunk)
+        finally:
+            if stream_backend is not None:
+                stream_backend.close()
+
+    async def astream(
+        self,
+        queries,
+        *,
+        batch_size: int = 64,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> AsyncIterator[QueryOutcome]:
+        """Async :meth:`run_stream`: accepts sync *or* async query iterables.
+
+        Chunks go through :meth:`run_batch_async`, so consuming the stream
+        from an event loop never blocks it on EVE computation; outcomes are
+        yielded in input order with the usual per-query error isolation.
+        """
+        if batch_size < 1:
+            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+        stream_backend = self._checkout_stream_backend(max_workers)
+
+        async def flush(chunk: List[QueryLike]) -> BatchReport:
+            if stream_backend is not None:
+                # get_warm() may close, rebuild and warm a stale pool; runs
+                # on a helper thread so none of that blocks the event loop.
+                backend = await asyncio.get_running_loop().run_in_executor(
+                    None, stream_backend.get_warm
+                )
+                return await self._run_batch_async_on(backend, chunk, use_cache)
+            return await self.run_batch_async(
+                chunk, max_workers=max_workers, use_cache=use_cache
+            )
+
+        if not hasattr(queries, "__aiter__"):
+            sync_queries = queries
+
+            async def aiter_sync():
+                for query in sync_queries:
+                    yield query
+
+            queries = aiter_sync()
+
+        try:
+            chunk: List[QueryLike] = []
+            async for query in queries:
+                chunk.append(query)
+                if len(chunk) >= batch_size:
+                    for outcome in await flush(chunk):
+                        yield outcome
+                    chunk = []
+            if chunk:
+                for outcome in await flush(chunk):
+                    yield outcome
+        finally:
+            if stream_backend is not None:
+                await stream_backend.aclose()
+
+    # ------------------------------------------------------------------
+    # Batch internals (shared by the sync and async paths)
+    # ------------------------------------------------------------------
+    def _run_batch_on(
+        self, backend: ExecutorBackend, queries: Iterable[QueryLike], use_cache: bool
+    ) -> BatchReport:
+        """Run one batch on an already-checked-out backend."""
         started = time.perf_counter()
+        prepared = self._prepare_batch(queries, use_cache)
+        group_results = backend.run(self._group_tasks(prepared, backend))
+        return self._finalize_batch(prepared, group_results, started)
+
+    async def _run_batch_async_on(
+        self, backend: ExecutorBackend, queries: Iterable[QueryLike], use_cache: bool
+    ) -> BatchReport:
+        """Awaitable :meth:`_run_batch_on`."""
+        started = time.perf_counter()
+        prepared = self._prepare_batch(queries, use_cache)
+        group_results = await backend.run_async(self._group_tasks(prepared, backend))
+        return self._finalize_batch(prepared, group_results, started)
+
+    def _checkout_stream_backend(
+        self, max_workers: Optional[int]
+    ) -> Optional[_TransientStreamBackend]:
+        """One transient backend holder for a whole stream, or ``None``.
+
+        Streams delegate each chunk to the batch path.  With the persistent
+        backend that is the right thing chunk by chunk (the per-chunk
+        ensure re-adapts to graph swaps mid-stream), but a width override
+        that maps to a *transient* backend must not rebuild a pool — for
+        the process backend: respawn workers and re-ship the graph — per
+        chunk; it is checked out once here, revalidated per chunk (graph
+        swap / broken pool) by the holder, and closed when the stream ends.
+        """
+        if max_workers is None or self._is_default_width(max_workers):
+            return None
+        return _TransientStreamBackend(self, max_workers)
+
+    def _prepare_batch(
+        self, queries: Iterable[QueryLike], use_cache: bool
+    ) -> _PreparedBatch:
+        """Normalise, consult the cache, dedupe and plan one batch."""
         raw_queries = list(queries)
         graph = self._graph
         fingerprint = graph.fingerprint()
-        workers = self._max_workers if max_workers is None else max_workers
 
         normalized: List[Optional[Tuple[Vertex, Vertex, int]]] = []
         outcomes: List[Optional[QueryOutcome]] = [None] * len(raw_queries)
@@ -341,16 +877,53 @@ class SPGEngine:
             [normalized[index] for _, index in primaries],
             min_group_size=self._min_group_size,
         )
-        tasks = [
-            (lambda group=group: self._run_group(graph, group)) for group in plan.groups
-        ]
-        group_results = run_tasks(tasks, max_workers=workers)
+        return _PreparedBatch(
+            graph=graph,
+            fingerprint=fingerprint,
+            normalized=normalized,
+            outcomes=outcomes,
+            pending=pending,
+            primaries=primaries,
+            plan=plan,
+            use_cache=use_cache,
+        )
 
-        for group, group_result in zip(plan.groups, group_results):
+    def _group_tasks(
+        self, prepared: _PreparedBatch, backend: ExecutorBackend
+    ) -> List[Call]:
+        """Build one task per planned group, in the backend's task form.
+
+        In-process backends close over the engine (shared scratch pool and
+        stats); the process backend gets module-level picklable payloads
+        carrying the graph fingerprint for the worker-side staleness check.
+        """
+        if backend.requires_picklable_tasks:
+            return [
+                Call(_process_run_group, (prepared.fingerprint, group))
+                for group in prepared.plan.groups
+            ]
+        graph = prepared.graph
+        return [Call(self._run_group, (graph, group)) for group in prepared.plan.groups]
+
+    def _finalize_batch(
+        self,
+        prepared: _PreparedBatch,
+        group_results: List[object],
+        started: float,
+    ) -> BatchReport:
+        """Slot group results back into input order and assemble the report."""
+        normalized = prepared.normalized
+        outcomes = prepared.outcomes
+        pending = prepared.pending
+        primaries = prepared.primaries
+        use_cache = prepared.use_cache
+
+        for group, group_result in zip(prepared.plan.groups, group_results):
             if isinstance(group_result, TaskError):
-                # Defensive: _run_group isolates per-query errors itself, so
-                # this only fires on unexpected failures — blame every query
-                # of the group rather than dropping the batch.
+                # Defensive: group runners isolate per-query errors, so this
+                # only fires on unexpected failures (a dead worker process,
+                # an unpicklable payload) — blame every query of the group
+                # rather than dropping the batch.
                 group_result = [
                     (planned.index, None, group_result.error, 0.0, False)
                     for planned in group.queries
@@ -396,9 +969,9 @@ class SPGEngine:
         report = BatchReport(
             outcomes=[outcome for outcome in outcomes if outcome is not None],
             wall_seconds=time.perf_counter() - started,
-            planned_groups=len(plan.groups),
-            shared_groups=plan.num_shared_groups,
-            reused_backward_passes=plan.reused_backward_passes,
+            planned_groups=len(prepared.plan.groups),
+            shared_groups=prepared.plan.num_shared_groups,
+            reused_backward_passes=prepared.plan.reused_backward_passes,
         )
         for outcome in report.outcomes:
             self._stats.record_query(
@@ -414,81 +987,9 @@ class SPGEngine:
         self._stats.record_batch()
         return report
 
-    def run_stream(
-        self,
-        queries: Iterable[QueryLike],
-        *,
-        batch_size: int = 64,
-        max_workers: Optional[int] = None,
-        use_cache: bool = True,
-    ) -> Iterator[QueryOutcome]:
-        """Serve an unbounded query stream in bounded-memory chunks.
-
-        Outcomes are yielded in input order; each chunk of ``batch_size``
-        queries goes through the full batch pipeline (cache, planner,
-        executor), so a stream with repeated or target-grouped queries gets
-        the same wins as an explicit batch.
-        """
-        if batch_size < 1:
-            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
-        chunk: List[QueryLike] = []
-        for query in queries:
-            chunk.append(query)
-            if len(chunk) >= batch_size:
-                yield from self.run_batch(
-                    chunk, max_workers=max_workers, use_cache=use_cache
-                )
-                chunk = []
-        if chunk:
-            yield from self.run_batch(
-                chunk, max_workers=max_workers, use_cache=use_cache
-            )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _run_group(
-        self, graph: DiGraph, group: QueryGroup
-    ) -> List[Tuple[int, Optional[SimplePathGraphResult], Optional[BaseException], float, bool]]:
-        """Run one planned group sequentially, isolating per-query errors.
-
-        Returns ``(plan position, result, exception, latency, reused)``
-        tuples.  The shared backward pass is computed once for groups the
-        planner marked ``shared``; when that precomputation itself fails
-        (e.g. the common target is not a vertex), each query falls through
-        to the cold path and reports the error individually.
-        """
-        shared = None
-        if group.shared:
-            try:
-                shared = backward_distance_map(graph, group.target, group.k)
-            except Exception:
-                shared = None
-        engine = EVE(graph, self._config)
-        out: List[
-            Tuple[int, Optional[SimplePathGraphResult], Optional[BaseException], float, bool]
-        ] = []
-        for planned in group.queries:
-            reused = shared is not None
-            query_started = time.perf_counter()
-            try:
-                with self._scratch.borrow() as scratch:
-                    result = engine.query(
-                        planned.source,
-                        planned.target,
-                        planned.k,
-                        shared_backward=shared,
-                        scratch=scratch,
-                    )
-            except Exception as exc:  # noqa: BLE001 - per-query isolation
-                out.append(
-                    (planned.index, None, exc, time.perf_counter() - query_started, reused)
-                )
-            else:
-                out.append(
-                    (planned.index, result, None, time.perf_counter() - query_started, reused)
-                )
-        return out
+    def _run_group(self, graph: DiGraph, group: QueryGroup) -> GroupResult:
+        """In-process group runner: pooled scratch, shared stats."""
+        return _execute_group(graph, self._config, group, self._scratch.borrow)
 
     @staticmethod
     def _normalize(query: QueryLike) -> Tuple[Vertex, Vertex, int]:
@@ -536,5 +1037,6 @@ class SPGEngine:
         return (
             f"SPGEngine(graph={self._graph.name!r}, "
             f"vertices={self._graph.num_vertices}, edges={self._graph.num_edges}, "
+            f"backend={self._backend_name!r}, "
             f"cache={'off' if self._cache is None else len(self._cache)})"
         )

@@ -114,14 +114,18 @@ class EngineStats:
     def record_scratch(self, *, reused: bool) -> None:
         """Record one scratch-buffer checkout (allocation vs pool reuse).
 
-        Every *executed* query checks out exactly one scratch, so on a
-        workload where every query actually runs (no malformed batch entries,
-        no duplicates of a failed primary — those are recorded as cache
-        misses without executing), ``scratch_allocations + scratch_reuses ==
-        cache_misses``.  Unconditionally, ``scratch_allocations`` stays
-        bounded by the peak number of concurrent workers — that is the
-        "zero per-query allocation" property the throughput benchmark
-        asserts.
+        Every query *executed in-process* checks out exactly one scratch,
+        so on an in-process backend (``serial``/``thread``/``async``) and a
+        workload where every query actually runs (no malformed batch
+        entries, no duplicates of a failed primary — those are recorded as
+        cache misses without executing), ``scratch_allocations +
+        scratch_reuses == cache_misses``.  Unconditionally,
+        ``scratch_allocations`` stays bounded by the peak number of
+        concurrent workers — that is the "zero per-query allocation"
+        property the throughput benchmark asserts.  The ``process`` backend
+        is outside both invariants: its workers each keep one private
+        scratch in their own process, so these parent-side counters stay at
+        zero however many queries the pool executes.
         """
         with self._lock:
             if reused:

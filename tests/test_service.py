@@ -540,3 +540,25 @@ class TestCLI:
         completed = self._run(["--edges", "/nonexistent/graph.txt"], "")
         assert completed.returncode == 2
         assert "could not load graph" in completed.stderr
+
+    @pytest.mark.parametrize("backend", ["serial", "process", "async"])
+    def test_backend_flag_round_trip(self, tmp_path, backend):
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\nb c\na c\nc d\n", encoding="utf-8")
+        completed = self._run(
+            ["--edges", str(edges), "--backend", backend, "--workers", "2", "--stats"],
+            "a d 3\nb d 2\n",
+        )
+        assert completed.returncode == 0, completed.stderr
+        records = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert [record["ok"] for record in records] == [True, True]
+        assert sorted(map(tuple, records[0]["edges"])) == [
+            ("a", "b"), ("a", "c"), ("b", "c"), ("c", "d")
+        ]
+        stats = json.loads(completed.stderr.strip().splitlines()[-1])
+        assert stats["executor_backend"] == backend
+
+    def test_unknown_backend_rejected(self):
+        completed = self._run(["--dataset", "ps", "--backend", "gpu"], "")
+        assert completed.returncode == 2
+        assert "--backend" in completed.stderr
