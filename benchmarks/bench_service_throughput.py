@@ -19,6 +19,13 @@ multi-core runner the process backend must be >= 1.5x faster than the
 thread backend (answers identical); on a single available core the
 assertion is skipped — there is nothing to parallelise — but the
 identical-answers check still runs.
+
+Two sharded-serving measurements close the loop on the partition-parallel
+PR: per-worker peak RSS for spawn-family pools must *drop* when workers
+attach to the shared-memory CSR segment instead of unpickling the graph
+(the zero-copy claim, asserted via worker probes), and the sharded engine
+must serve a CPU-bound workload without regressing against the plain
+process backend (identical answers, bounded slowdown).
 """
 
 from __future__ import annotations
@@ -28,14 +35,25 @@ from typing import List, Tuple
 
 from repro.core.eve import build_spg
 from repro.exceptions import QueryError
+from repro.graph.generators import erdos_renyi
 from repro.queries.workload import random_reachable_queries
 from repro.queries.workload import target_grouped_queries
-from repro.service import SPGEngine, default_worker_count
+from repro.service import Call, ShardedSPGEngine, SPGEngine, default_worker_count
+from repro.service.engine import _worker_graph_probe
 
 REPEAT_SWEEPS = 3
 
 #: Thread-vs-process acceptance bar on CPU-bound multi-query workloads.
 PARALLEL_SPEEDUP_BAR = 1.5
+
+#: Minimum per-worker peak-RSS saving (KB) the shared-memory CSR segment
+#: must deliver over pickled-graph workers on the RSS benchmark graph (the
+#: measured saving is ~26 MB; 8 MB leaves slack for allocator noise).
+SHARED_MEMORY_RSS_SAVING_KB = 8 * 1024
+
+#: The sharded engine must not be more than this factor slower than the
+#: plain process engine on a CPU-bound workload (identical answers).
+SHARDED_REGRESSION_SLACK = 1.5
 
 
 def _grouped_workload(scale) -> Tuple[object, List[Tuple[int, int, int]]]:
@@ -208,6 +226,118 @@ def test_service_thread_vs_process_backend(benchmark, scale, show_table):
             "\n[skipped speedup assertion: only one CPU available to this "
             "process — the process backend cannot beat threads without cores]"
         )
+
+
+def _max_worker_peak_rss_kb(engine: SPGEngine, workers: int) -> Tuple[int, bool]:
+    """``(max peak RSS over workers, every worker shared)`` via pool probes."""
+    probes = engine._ensure_backend().run([Call(_worker_graph_probe)] * workers)
+    return (
+        max(probe["peak_rss_kb"] for probe in probes),
+        all(probe["shared"] for probe in probes),
+    )
+
+
+def test_service_shared_memory_worker_rss(benchmark, show_table):
+    """Shared-memory CSR segments shrink per-worker RSS vs pickled graphs.
+
+    The pool start method defaults to ``forkserver`` (spawn family: workers
+    never inherit the parent's graph copy-on-write), so worker RSS isolates
+    how the graph *arrives*: unpickling rebuilds adjacency lists and the
+    edge set per worker, while attaching to the shared segment maps the CSR
+    arrays zero-copy.  The probe also proves no unpickling happened — the
+    worker graph must be the shared ``CSRGraphView``.
+    """
+    graph = erdos_renyi(15_000, 8.0, seed=1, name="rss-bench")
+    workers = min(2, default_worker_count())
+    warmup = [(0, 1, 2), (1, 2, 2)]
+    peaks = {}
+    for shared in (True, False):
+        def serve(shared=shared):
+            with SPGEngine(
+                graph,
+                executor_backend="process",
+                max_workers=workers,
+                shared_memory=shared,
+            ) as engine:
+                engine.run_batch(warmup)
+                return _max_worker_peak_rss_kb(engine, workers)
+
+        if shared:
+            peaks[shared] = benchmark.pedantic(serve, rounds=1, iterations=1)
+        else:
+            peaks[shared] = serve()
+    shared_peak, shared_flag = peaks[True]
+    pickled_peak, pickled_flag = peaks[False]
+    assert shared_flag, "shared-memory workers must serve the CSRGraphView"
+    assert not pickled_flag, "pickled workers must not report a shared view"
+    show_table(
+        [
+            {
+                "graph": graph.name,
+                "edges": graph.num_edges,
+                "workers": workers,
+                "worker graph": "shared-memory view" if shared else "pickled DiGraph",
+                "peak_rss_mb": round(peak / 1024.0, 1),
+            }
+            for shared, (peak, _) in sorted(peaks.items(), reverse=True)
+        ],
+        "Sharded serving: per-worker peak RSS, shared segment vs pickled graph",
+    )
+    saving = pickled_peak - shared_peak
+    assert saving >= SHARED_MEMORY_RSS_SAVING_KB, (
+        f"expected shared-memory workers to save >= "
+        f"{SHARED_MEMORY_RSS_SAVING_KB} KB of peak RSS over pickled-graph "
+        f"workers, got {saving} KB ({shared_peak} vs {pickled_peak})"
+    )
+
+
+def test_service_sharded_no_throughput_regression(benchmark, scale, show_table):
+    """Sharded serving stays within slack of the plain process engine."""
+    graph, queries = _parallel_workload(scale)
+    workers = default_worker_count()
+    expected = [build_spg(graph, s, t, k).edges for s, t, k in queries]
+
+    timings = {}
+    for label, factory in (
+        ("process", lambda: SPGEngine(
+            graph, cache_size=0, max_workers=workers, executor_backend="process"
+        )),
+        ("sharded-4", lambda: ShardedSPGEngine(
+            graph, cache_size=0, max_workers=workers, executor_backend="process",
+            num_shards=4,
+        )),
+    ):
+        with factory() as engine:
+            engine.run_batch(queries)  # warm pool + segment attach
+            if label == "sharded-4":
+                report = benchmark.pedantic(
+                    lambda: engine.run_batch(queries), rounds=1, iterations=1
+                )
+            else:
+                report = engine.run_batch(queries)
+            best = report.wall_seconds
+            for _ in range(2):
+                best = min(best, engine.run_batch(queries).wall_seconds)
+            timings[label] = best
+            assert [outcome.edges for outcome in report] == expected, label
+    show_table(
+        [
+            {
+                "graph": graph.name,
+                "queries": len(queries),
+                "workers": workers,
+                "engine": label,
+                "seconds": round(seconds, 4),
+            }
+            for label, seconds in timings.items()
+        ],
+        "Sharded serving: throughput vs the plain process engine",
+    )
+    assert timings["sharded-4"] <= timings["process"] * SHARDED_REGRESSION_SLACK, (
+        f"sharded serving regressed: {timings['sharded-4']:.4f}s vs "
+        f"{timings['process']:.4f}s plain "
+        f"(allowed slack {SHARDED_REGRESSION_SLACK}x)"
+    )
 
 
 def test_service_cold_backward_reuse(benchmark, scale, show_table):

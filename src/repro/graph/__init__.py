@@ -5,12 +5,31 @@ adjacency-list directed graph with dense integer vertex ids.  Helper modules
 provide construction from raw edge lists (:mod:`repro.graph.builder`),
 edge-list I/O (:mod:`repro.graph.io`), synthetic generators
 (:mod:`repro.graph.generators`), structural statistics
-(:mod:`repro.graph.properties`) and edge-induced subgraphs
-(:mod:`repro.graph.subgraph`).
+(:mod:`repro.graph.properties`), edge-induced subgraphs
+(:mod:`repro.graph.subgraph`), vertex-range CSR partitioning
+(:mod:`repro.graph.partition`) and shared-memory CSR segments with
+zero-copy graph views (:mod:`repro.graph.shm`).
 """
 
 from repro.graph.builder import GraphBuilder, build_graph
 from repro.graph.digraph import DiGraph
+from repro.graph.partition import (
+    GraphShard,
+    ShardSet,
+    owner_of,
+    partition_graph,
+    partition_ranges,
+    shard_fingerprint,
+    shard_set_fingerprint,
+)
+from repro.graph.shm import (
+    AttachedGraphSegment,
+    CSRGraphView,
+    SharedGraphDescriptor,
+    SharedGraphSegment,
+    attach_shared_graph,
+    shared_memory_available,
+)
 from repro.graph.subgraph import edge_induced_subgraph, vertex_induced_subgraph
 
 __all__ = [
@@ -19,4 +38,17 @@ __all__ = [
     "build_graph",
     "edge_induced_subgraph",
     "vertex_induced_subgraph",
+    "GraphShard",
+    "ShardSet",
+    "partition_graph",
+    "partition_ranges",
+    "owner_of",
+    "shard_fingerprint",
+    "shard_set_fingerprint",
+    "SharedGraphSegment",
+    "SharedGraphDescriptor",
+    "AttachedGraphSegment",
+    "CSRGraphView",
+    "attach_shared_graph",
+    "shared_memory_available",
 ]

@@ -1,0 +1,518 @@
+"""Vertex-range graph partitioning: CSR shard slices for partition-parallel serving.
+
+A :class:`~repro.graph.digraph.DiGraph` whose CSR views are already flat
+``(offsets, targets)`` arrays partitions *for free*: a shard is nothing but
+a contiguous vertex range ``[lo, hi)`` together with the slice of each CSR
+view covering that range.  The target arrays are shared zero-copy with the
+parent graph (:class:`memoryview` slices — no per-shard edge copies), only
+the per-shard offset arrays are rebased, so partitioning a graph costs
+O(n + cut edges) fresh memory however many shards are cut.
+
+Three objects are exported:
+
+:class:`GraphShard`
+    One vertex range with its local forward/backward ``(offsets, targets)``
+    slice pair, an explicit cut-edge (halo) table listing every owned edge
+    whose head lives on another shard, and a stable fingerprint derived
+    from the parent graph's :meth:`~repro.graph.digraph.DiGraph.fingerprint`.
+:class:`ShardSet`
+    The full partition: owner lookup in O(1), frontier routing for the
+    level-synchronous halo exchange, and
+    :meth:`ShardSet.backward_distance_map` — the partition-parallel twin of
+    :func:`repro.core.distances.backward_distance_map`, answer-identical by
+    construction (and held to it by ``tests/test_sharding.py``).
+:func:`partition_graph`
+    The partitioner.
+
+Invariants (property-tested):
+
+* every vertex belongs to exactly one shard;
+* every edge is either *local* to exactly one shard (both endpoints owned)
+  or appears in exactly one shard's cut table (the shard owning its tail);
+* shard fingerprints change exactly when the parent fingerprint or the
+  shard count changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from struct import pack
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Sequence, Tuple
+
+from repro._types import Edge, Vertex
+from repro.exceptions import GraphError, VertexError
+from repro.graph.digraph import DiGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.distances import BackwardDistanceMap
+
+# repro.core.distances hosts the slice kernels but itself imports the graph
+# layer, so the kernel binding is resolved lazily on first use (and cached)
+# instead of at module import time.
+_csr_slice_expand = None
+
+
+def _slice_expand_kernel():
+    global _csr_slice_expand
+    if _csr_slice_expand is None:
+        from repro.core.distances import csr_slice_expand
+
+        _csr_slice_expand = csr_slice_expand
+    return _csr_slice_expand
+
+__all__ = [
+    "GraphShard",
+    "ShardSet",
+    "partition_graph",
+    "partition_ranges",
+    "owner_of",
+    "shard_fingerprint",
+    "shard_set_fingerprint",
+]
+
+
+# ----------------------------------------------------------------------
+# Range arithmetic (pure functions, usable without building a partition)
+# ----------------------------------------------------------------------
+def partition_ranges(num_vertices: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[lo, hi)`` vertex ranges, one per shard.
+
+    The first ``num_vertices % num_shards`` shards hold one extra vertex;
+    when there are more shards than vertices the trailing shards are empty.
+    """
+    if num_shards < 1:
+        raise GraphError(f"num_shards must be >= 1, got {num_shards}")
+    if num_vertices < 0:
+        raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
+    base, remainder = divmod(num_vertices, num_shards)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for shard_id in range(num_shards):
+        hi = lo + base + (1 if shard_id < remainder else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def owner_of(num_vertices: int, num_shards: int, vertex: Vertex) -> int:
+    """Shard id owning ``vertex`` under :func:`partition_ranges` — O(1).
+
+    Pure arithmetic on ``(num_vertices, num_shards)``: callers that only
+    need routing (e.g. building process-pool task payloads) never have to
+    materialise a :class:`ShardSet`.
+    """
+    if not 0 <= vertex < num_vertices:
+        raise VertexError(f"vertex {vertex} is not in [0, {num_vertices})")
+    base, remainder = divmod(num_vertices, num_shards)
+    if base == 0:
+        return vertex
+    boundary = remainder * (base + 1)
+    if vertex < boundary:
+        return vertex // (base + 1)
+    return remainder + (vertex - boundary) // base
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def shard_set_fingerprint(parent_fingerprint: str, num_shards: int) -> str:
+    """Stable fingerprint of one whole partition.
+
+    Derived from the parent graph fingerprint and the shard count only, so
+    it changes exactly when either does — the serving layer keys result
+    caches and process-pool staleness checks on it.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(parent_fingerprint.encode("ascii"))
+    hasher.update(pack("<q", num_shards))
+    return hasher.hexdigest()
+
+
+def shard_fingerprint(
+    parent_fingerprint: str, num_shards: int, shard_id: int, lo: int, hi: int
+) -> str:
+    """Stable fingerprint of one shard (parent fingerprint + placement)."""
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(parent_fingerprint.encode("ascii"))
+    hasher.update(pack("<qqqq", num_shards, shard_id, lo, hi))
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# One shard
+# ----------------------------------------------------------------------
+class GraphShard:
+    """One contiguous vertex range of a partitioned graph.
+
+    The local CSR slice pair covers exactly the owned vertices: the target
+    arrays are zero-copy :class:`memoryview` slices of the parent CSR (ids
+    stay *global*), the offset arrays are rebased so
+    ``out_targets[out_offsets[u - lo]:out_offsets[u - lo + 1]]`` are the
+    out-neighbours of an owned vertex ``u``.  ``cut_edges()`` lists every
+    owned edge whose head is owned by another shard — the halo this shard
+    hands to its neighbours during a frontier exchange.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "num_shards",
+        "lo",
+        "hi",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_targets",
+        "fingerprint",
+        "_cut",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_shards: int,
+        lo: int,
+        hi: int,
+        out_offsets: Sequence[int],
+        out_targets: Sequence[Vertex],
+        in_offsets: Sequence[int],
+        in_targets: Sequence[Vertex],
+        fingerprint: str,
+    ) -> None:
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.lo = lo
+        self.hi = hi
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.in_offsets = in_offsets
+        self.in_targets = in_targets
+        self.fingerprint = fingerprint
+        # The cut table is derivable from the out slice by an O(edges)
+        # scan that no serving path needs, so it is built on first access
+        # — keeping partitioning (engine construction, graph swaps, and
+        # above all per-worker pool initialisation) free of it.
+        self._cut: "array | None" = None
+
+    def _cut_table(self) -> array:
+        """Flattened (tail, head) pairs of the halo table, built lazily.
+
+        16 bytes per cut edge instead of a boxed tuple each — partitions
+        of well-mixed graphs cut most edges.
+        """
+        if self._cut is None:
+            lo = self.lo
+            hi = self.hi
+            offsets = self.out_offsets
+            targets = self.out_targets
+            cut = array("q")
+            append = cut.append
+            for local in range(hi - lo):
+                for head in targets[offsets[local]:offsets[local + 1]]:
+                    if not lo <= head < hi:
+                        append(lo + local)
+                        append(head)
+            self._cut = cut
+        return self._cut
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices this shard owns."""
+        return self.hi - self.lo
+
+    @property
+    def num_edges(self) -> int:
+        """Number of out-edges whose tail this shard owns (local + cut)."""
+        return len(self.out_targets)
+
+    @property
+    def num_cut_edges(self) -> int:
+        """Number of owned out-edges whose head lives on another shard."""
+        return len(self._cut_table()) // 2
+
+    @property
+    def num_local_edges(self) -> int:
+        """Number of owned out-edges with both endpoints on this shard."""
+        return self.num_edges - self.num_cut_edges
+
+    def owns(self, vertex: Vertex) -> bool:
+        """True when ``vertex`` falls in this shard's ``[lo, hi)`` range."""
+        return self.lo <= vertex < self.hi
+
+    def vertices(self) -> range:
+        """The owned vertex ids."""
+        return range(self.lo, self.hi)
+
+    def out_neighbors(self, vertex: Vertex) -> Sequence[Vertex]:
+        """Out-neighbours (global ids) of an owned vertex, adjacency order."""
+        self._check_owned(vertex)
+        local = vertex - self.lo
+        return self.out_targets[self.out_offsets[local]:self.out_offsets[local + 1]]
+
+    def in_neighbors(self, vertex: Vertex) -> Sequence[Vertex]:
+        """In-neighbours (global ids) of an owned vertex, adjacency order."""
+        self._check_owned(vertex)
+        local = vertex - self.lo
+        return self.in_targets[self.in_offsets[local]:self.in_offsets[local + 1]]
+
+    def cut_edges(self) -> Iterator[Edge]:
+        """Iterate the halo table: owned edges whose head is remote."""
+        cut = self._cut_table()
+        for index in range(0, len(cut), 2):
+            yield (cut[index], cut[index + 1])
+
+    def _check_owned(self, vertex: Vertex) -> None:
+        if not self.owns(vertex):
+            raise VertexError(
+                f"vertex {vertex} is not owned by shard {self.shard_id} "
+                f"[{self.lo}, {self.hi})"
+            )
+
+    # ------------------------------------------------------------------
+    def expand_backward(
+        self,
+        frontier: Sequence[Vertex],
+        depth: int,
+        dist: List[int],
+        stamp: List[int],
+        epoch: int,
+        out: List[Vertex],
+    ) -> None:
+        """Expand owned frontier vertices one hop on the reverse slice.
+
+        Newly discovered vertices (global ids, possibly owned by other
+        shards — the outgoing halo) are appended to ``out``; see
+        :func:`repro.core.distances.csr_slice_expand`.
+        """
+        _slice_expand_kernel()(
+            self.in_offsets, self.in_targets, self.lo,
+            frontier, depth, dist, stamp, epoch, out,
+        )
+
+    def expand_forward(
+        self,
+        frontier: Sequence[Vertex],
+        depth: int,
+        dist: List[int],
+        stamp: List[int],
+        epoch: int,
+        out: List[Vertex],
+    ) -> None:
+        """Forward twin of :meth:`expand_backward` (out-edge slice)."""
+        _slice_expand_kernel()(
+            self.out_offsets, self.out_targets, self.lo,
+            frontier, depth, dist, stamp, epoch, out,
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling: materialise the zero-copy views (a shard shipped on its own
+    # must not drag the parent arrays' memory semantics across processes).
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Tuple:
+        return (
+            self.shard_id,
+            self.num_shards,
+            self.lo,
+            self.hi,
+            array("q", self.out_offsets),
+            array("q", self.out_targets),
+            array("q", self.in_offsets),
+            array("q", self.in_targets),
+            self.fingerprint,
+            self._cut,
+        )
+
+    def __setstate__(self, state: Tuple) -> None:
+        (
+            self.shard_id,
+            self.num_shards,
+            self.lo,
+            self.hi,
+            self.out_offsets,
+            self.out_targets,
+            self.in_offsets,
+            self.in_targets,
+            self.fingerprint,
+            self._cut,
+        ) = state
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphShard(id={self.shard_id}/{self.num_shards}, "
+            f"range=[{self.lo}, {self.hi}), edges={self.num_edges}, "
+            f"cut={self.num_cut_edges})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The partition
+# ----------------------------------------------------------------------
+class ShardSet:
+    """All shards of one graph plus O(1) routing between them.
+
+    Keeps a reference to the parent graph (the target slices alias its CSR
+    arrays), the parent fingerprint, and the derived partition fingerprint
+    used by the serving layer for cache keys and worker staleness checks.
+    """
+
+    __slots__ = (
+        "graph",
+        "num_shards",
+        "shards",
+        "parent_fingerprint",
+        "fingerprint",
+        "_base",
+        "_remainder",
+        "_boundary",
+    )
+
+    def __init__(self, graph: DiGraph, shards: List[GraphShard]) -> None:
+        self.graph = graph
+        self.num_shards = len(shards)
+        self.shards = shards
+        self.parent_fingerprint = graph.fingerprint()
+        self.fingerprint = shard_set_fingerprint(self.parent_fingerprint, self.num_shards)
+        base, remainder = divmod(graph.num_vertices, self.num_shards)
+        self._base = base
+        self._remainder = remainder
+        self._boundary = remainder * (base + 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    def check_vertex(self, vertex: Vertex) -> None:
+        """Raise :class:`VertexError` exactly like the parent graph would."""
+        self.graph.check_vertex(vertex)
+
+    def owner(self, vertex: Vertex) -> int:
+        """Shard id owning ``vertex`` (O(1) range arithmetic)."""
+        return owner_of(self.graph.num_vertices, self.num_shards, vertex)
+
+    def shard_for(self, vertex: Vertex) -> GraphShard:
+        """The shard owning ``vertex``."""
+        return self.shards[self.owner(vertex)]
+
+    def route(
+        self, frontier: Iterable[Vertex]
+    ) -> List[Tuple[GraphShard, List[Vertex]]]:
+        """Split a BFS frontier into per-shard buckets — the halo exchange.
+
+        Every frontier vertex is handed to the shard owning it (in shard-id
+        order, preserving frontier order within each bucket), which is the
+        level-synchronous exchange step of the distributed backward pass.
+        Empty buckets are dropped.
+        """
+        shards = self.shards
+        if self.num_shards == 1:
+            bucket = list(frontier)
+            return [(shards[0], bucket)] if bucket else []
+        # Inlined :func:`owner_of` (same arithmetic, cached divmod): this
+        # runs once per frontier vertex per BFS level, where a function
+        # call per vertex is measurable.
+        base = self._base
+        remainder = self._remainder
+        boundary = self._boundary
+        buckets: List[List[Vertex]] = [[] for _ in shards]
+        if base == 0:
+            for vertex in frontier:
+                buckets[vertex].append(vertex)
+        else:
+            for vertex in frontier:
+                if vertex < boundary:
+                    buckets[vertex // (base + 1)].append(vertex)
+                else:
+                    buckets[remainder + (vertex - boundary) // base].append(vertex)
+        return [
+            (shard, bucket)
+            for shard, bucket in zip(shards, buckets)
+            if bucket
+        ]
+
+    def backward_distance_map(self, target: Vertex, k: int) -> "BackwardDistanceMap":
+        """Partition-parallel backward pass for ``(target, k)``.
+
+        Answer-identical to
+        :func:`repro.core.distances.backward_distance_map` on the parent
+        graph; see :func:`repro.core.distances.sharded_backward_distance_map`.
+        """
+        from repro.core.distances import sharded_backward_distance_map
+
+        return sharded_backward_distance_map(self, target, k)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def __iter__(self) -> Iterator[GraphShard]:
+        return iter(self.shards)
+
+    def __getitem__(self, shard_id: int) -> GraphShard:
+        return self.shards[shard_id]
+
+    # Re-partitioning on unpickle keeps every invariant (and re-aliases the
+    # slice views onto the unpickled graph's own CSR arrays).
+    def __reduce__(self) -> Tuple:
+        return (partition_graph, (self.graph, self.num_shards))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSet(graph={self.graph.name!r}, shards={self.num_shards}, "
+            f"vertices={self.num_vertices}, cut_edges="
+            f"{sum(shard.num_cut_edges for shard in self.shards)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The partitioner
+# ----------------------------------------------------------------------
+def _slice_csr(
+    offsets: Sequence[int],
+    targets_view: "memoryview",
+    lo: int,
+    hi: int,
+) -> Tuple[array, Sequence[Vertex]]:
+    """Rebase ``offsets[lo..hi]`` to zero and slice the matching targets."""
+    base = offsets[lo]
+    local_offsets = array("q", (offsets[index] - base for index in range(lo, hi + 1)))
+    return local_offsets, targets_view[base:offsets[hi]]
+
+
+def partition_graph(graph: DiGraph, num_shards: int) -> ShardSet:
+    """Partition ``graph`` into ``num_shards`` vertex-range CSR shards.
+
+    The partition is deterministic (balanced contiguous ranges), zero-copy
+    on the edge arrays, and safe to build on any graph whose CSR views are
+    index-able flat buffers — including the shared-memory-backed views of
+    :class:`repro.graph.shm.CSRGraphView`, where the shard slices alias the
+    shared segment directly.
+    """
+    ranges = partition_ranges(graph.num_vertices, num_shards)
+    forward_offsets, forward_targets = graph.csr()
+    backward_offsets, backward_targets = graph.csr_reverse()
+    forward_view = memoryview(forward_targets)
+    backward_view = memoryview(backward_targets)
+    parent_fingerprint = graph.fingerprint()
+
+    shards: List[GraphShard] = []
+    for shard_id, (lo, hi) in enumerate(ranges):
+        out_offsets, out_targets = _slice_csr(forward_offsets, forward_view, lo, hi)
+        in_offsets, in_targets = _slice_csr(backward_offsets, backward_view, lo, hi)
+        shards.append(
+            GraphShard(
+                shard_id=shard_id,
+                num_shards=num_shards,
+                lo=lo,
+                hi=hi,
+                out_offsets=out_offsets,
+                out_targets=out_targets,
+                in_offsets=in_offsets,
+                in_targets=in_targets,
+                fingerprint=shard_fingerprint(
+                    parent_fingerprint, num_shards, shard_id, lo, hi
+                ),
+            )
+        )
+    return ShardSet(graph, shards)

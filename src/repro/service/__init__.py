@@ -26,11 +26,17 @@ serving layer exploits.  This subsystem layers four things on top of
 (hit rate, latency quantiles, queries served, scratch reuse); batches run
 synchronously (:meth:`SPGEngine.run_batch` / :meth:`SPGEngine.run_stream`)
 or from an event loop (:meth:`SPGEngine.run_batch_async` /
-:meth:`SPGEngine.astream`).  The subsystem also ships a command line
+:meth:`SPGEngine.astream`).  :class:`ShardedSPGEngine`
+(:mod:`repro.service.shard`) serves the same contract through a
+vertex-range CSR partition: planner groups are routed to the shard owning
+their target, shared backward passes run with halo frontier exchange
+across shard slices, and process workers attach to a shared-memory CSR
+segment zero-copy.  The subsystem also ships a command line
 (``python -m repro.service``) that loads a dataset, reads JSON-lines
 queries from a file or stdin, and emits JSON results; ``--strategy``
-selects the Figure-11 distance-search ablation path and ``--backend`` the
-executor backend for the whole served workload.
+selects the Figure-11 distance-search ablation path, ``--backend`` the
+executor backend and ``--shards`` partition-parallel serving for the whole
+served workload.
 """
 
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
@@ -53,10 +59,14 @@ from repro.service.executor import (
 )
 from repro.service.planner import BatchPlan, PlannedQuery, QueryGroup, plan_batch
 from repro.service.scratch import ScratchPool
+from repro.service.shard import SHARD_ENV_VAR, ShardedSPGEngine, resolve_shard_count
 from repro.service.stats import EngineStats, LatencyWindow
 
 __all__ = [
     "SPGEngine",
+    "ShardedSPGEngine",
+    "SHARD_ENV_VAR",
+    "resolve_shard_count",
     "EngineConfig",
     "ScratchPool",
     "QueryOutcome",

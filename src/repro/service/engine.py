@@ -31,6 +31,7 @@ worker fails loudly instead of answering against a stale graph.
 from __future__ import annotations
 
 import asyncio
+import atexit
 import time
 import weakref
 from contextlib import contextmanager
@@ -53,6 +54,12 @@ from repro.core.eve import EVE, EVEConfig
 from repro.core.result import SimplePathGraphResult
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
+from repro.graph.shm import (
+    AttachedGraphSegment,
+    SharedGraphDescriptor,
+    SharedGraphSegment,
+    attach_shared_graph,
+)
 from repro.queries.workload import Query
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
 from repro.service.executor import (
@@ -93,6 +100,15 @@ class EngineConfig:
     ``"thread"``.  Note that process workers only ever receive the graph
     plus the :meth:`eve_config` slice of this config — the serving-layer
     knobs (cache, planner, pool sizing) live exclusively in the parent.
+
+    ``num_shards`` selects partition-parallel serving: ``None`` defers to
+    the ``REPRO_SHARD_COUNT`` environment variable (unset/0 = unsharded);
+    any positive count makes :meth:`SPGEngine.from_config` build a
+    :class:`repro.service.shard.ShardedSPGEngine`.  ``shared_memory``
+    controls whether process-pool workers receive the graph through a
+    :class:`repro.graph.shm.SharedGraphSegment` (``None`` = automatic:
+    enabled whenever the platform supports it, with a silent fallback to
+    the pickled-graph path; ``True`` = required; ``False`` = never).
     """
 
     strategy: str = "adaptive"
@@ -104,6 +120,8 @@ class EngineConfig:
     min_group_size: int = 2
     latency_window: int = 4096
     executor_backend: Optional[str] = None
+    num_shards: Optional[int] = None
+    shared_memory: Optional[bool] = None
 
     def eve_config(self) -> EVEConfig:
         """The :class:`~repro.core.eve.EVEConfig` slice of this config."""
@@ -113,6 +131,21 @@ class EngineConfig:
             search_ordering=self.search_ordering,
             verify=self.verify,
         )
+
+    def engine_kwargs(self) -> Dict[str, object]:
+        """The serving-layer keyword arguments of this config.
+
+        Everything :class:`SPGEngine` (and its sharded subclass) accepts
+        beyond the graph, the EVE config and the shard count.
+        """
+        return {
+            "cache_size": self.cache_size,
+            "max_workers": self.max_workers,
+            "min_group_size": self.min_group_size,
+            "latency_window": self.latency_window,
+            "executor_backend": self.executor_backend,
+            "shared_memory": self.shared_memory,
+        }
 
 
 @dataclass
@@ -178,6 +211,7 @@ def _execute_group(
     config: EVEConfig,
     group: QueryGroup,
     borrow_scratch,
+    shared_backward_for=None,
 ) -> GroupResult:
     """Run one planned group sequentially, isolating per-query errors.
 
@@ -186,14 +220,20 @@ def _execute_group(
     worker-local scratch across the process boundary).  Returns
     ``(plan position, result, exception, latency, reused)`` tuples.  The
     shared backward pass is computed once for groups the planner marked
-    ``shared``; when that precomputation itself fails (e.g. the common
-    target is not a vertex), each query falls through to the cold path and
-    reports the error individually.
+    ``shared`` — by ``shared_backward_for(target, k)`` when a provider is
+    given (the sharded engine's halo-exchange pass), otherwise by the
+    whole-graph :func:`repro.core.distances.backward_distance_map`; both
+    produce identical distances.  When that precomputation itself fails
+    (e.g. the common target is not a vertex), each query falls through to
+    the cold path and reports the error individually.
     """
     shared = None
     if group.shared:
         try:
-            shared = backward_distance_map(graph, group.target, group.k)
+            if shared_backward_for is not None:
+                shared = shared_backward_for(group.target, group.k)
+            else:
+                shared = backward_distance_map(graph, group.target, group.k)
         except Exception:
             shared = None
     engine = EVE(graph, config)
@@ -227,6 +267,8 @@ def _execute_group(
 _worker_graph: Optional[DiGraph] = None
 _worker_config: Optional[EVEConfig] = None
 _worker_scratch: Optional[DistanceScratch] = None
+_worker_attached: Optional[AttachedGraphSegment] = None
+_worker_cleanup_registered = False
 
 
 def _init_process_worker(graph: DiGraph, config: EVEConfig) -> None:
@@ -244,6 +286,78 @@ def _init_process_worker(graph: DiGraph, config: EVEConfig) -> None:
     _worker_graph = graph
     _worker_config = config
     _worker_scratch = DistanceScratch()
+
+
+def _release_worker_state() -> None:
+    """Drop worker-held graph state and unmap any attached shared segment.
+
+    Registered via ``atexit`` in shared-memory workers: the CSR views alias
+    the mapped block, so the mapping must be released only after every view
+    is unreachable — otherwise interpreter teardown trips over exported
+    buffers and prints spurious ``BufferError`` noise.
+    """
+    global _worker_graph, _worker_config, _worker_scratch, _worker_attached
+    _worker_graph = None
+    _worker_config = None
+    _worker_scratch = None
+    try:
+        # The sharded worker's shard set slices the same block.
+        from repro.service import shard as _shard_module
+
+        _shard_module._worker_shard_set = None
+    except Exception:  # pragma: no cover - shard layer absent mid-teardown
+        pass
+    attached = _worker_attached
+    _worker_attached = None
+    if attached is not None:
+        attached.close()
+
+
+def _attach_worker_graph(descriptor: SharedGraphDescriptor) -> DiGraph:
+    """Attach this worker to a shared graph segment (zero-copy, untracked).
+
+    The returned :class:`~repro.graph.shm.CSRGraphView` serves adjacency
+    straight from the shared block — no per-worker unpickling or adjacency
+    rebuild.  The attachment is kept in module state and released at worker
+    exit; the *creator* (the parent engine) owns the block's unlink.
+    """
+    global _worker_attached, _worker_cleanup_registered
+    if _worker_attached is not None:
+        _worker_attached.close()
+        _worker_attached = None
+    attached = attach_shared_graph(descriptor)
+    _worker_attached = attached
+    if not _worker_cleanup_registered:
+        atexit.register(_release_worker_state)
+        _worker_cleanup_registered = True
+    return attached.graph
+
+
+def _init_shared_process_worker(
+    descriptor: SharedGraphDescriptor, config: EVEConfig
+) -> None:
+    """Pool initializer for shared-memory workers: attach instead of unpickle."""
+    _init_process_worker(_attach_worker_graph(descriptor), config)
+
+
+def _worker_graph_probe() -> Dict[str, object]:
+    """Diagnostic task payload: how this worker holds its graph.
+
+    Used by the sharding tests and the RSS benchmark leg to assert that
+    shared-memory workers serve a zero-copy view (``shared=True``) instead
+    of an unpickled graph, and to read the worker's peak RSS.
+    """
+    import resource
+
+    from repro.graph.shm import CSRGraphView
+
+    graph = _worker_graph
+    return {
+        "graph_type": None if graph is None else type(graph).__name__,
+        "shared": isinstance(graph, CSRGraphView),
+        "fingerprint": None if graph is None else graph.fingerprint(),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
 
 
 @contextmanager
@@ -268,6 +382,40 @@ def _process_run_group(fingerprint: str, group: QueryGroup) -> GroupResult:
             f"does not match batch fingerprint {fingerprint}"
         )
     return _execute_group(_worker_graph, _worker_config, group, _worker_borrow)
+
+
+def _bind_segment_to_backend(
+    backend: ExecutorBackend, segment: SharedGraphSegment
+) -> None:
+    """Tie a segment's unlink to ``backend.close()`` (transient pools).
+
+    Transient backends are closed by their checkout site's ``finally`` (or
+    the stream holder), which knows nothing about shared memory; wrapping
+    ``close`` keeps that contract.  Pool teardown runs first — workers
+    hold attachments — then the segment unlinks (at most once; its own GC
+    finalizer covers a backend that is dropped without ``close()``).
+    """
+    original_close = backend.close
+
+    def close_with_segment() -> None:
+        original_close()
+        segment.close()
+
+    backend.close = close_with_segment
+
+
+def _release_backend(
+    backend: ExecutorBackend, segment: Optional[SharedGraphSegment]
+) -> None:
+    """Finalizer body for engines dropped without ``close()``.
+
+    Reaps the worker pool first (workers hold attachments into the
+    segment), then unlinks the shared block — at most once, the segment's
+    own finalizer guards repeats.
+    """
+    backend.close()
+    if segment is not None:
+        segment.close()
 
 
 def _warm_backend(backend: ExecutorBackend) -> ExecutorBackend:
@@ -311,7 +459,7 @@ class _TransientStreamBackend:
         if backend is None:
             backend = engine._build_backend(self._max_workers, graph)
             self._backend = backend
-            self._fingerprint = graph.fingerprint()
+            self._fingerprint = engine._batch_fingerprint(graph)
         return backend
 
     def get_warm(self) -> ExecutorBackend:
@@ -369,6 +517,14 @@ class SPGEngine:
         multi-query CPU-bound batches and loses on tiny ones.  Pools are
         built lazily, kept warm across batches, and released by
         :meth:`close` (the engine is also a context manager).
+    shared_memory:
+        How process workers receive the served graph.  ``None`` (default)
+        = automatic: the persistent pool's workers attach to a
+        :class:`repro.graph.shm.SharedGraphSegment` zero-copy when the
+        platform supports it, with a silent fallback to the pickled-graph
+        initializer.  ``True`` requires the segment (construction of the
+        pool raises when shared memory is unavailable); ``False`` always
+        pickles.  Irrelevant for in-process backends.
     """
 
     def __init__(
@@ -381,6 +537,7 @@ class SPGEngine:
         min_group_size: int = 2,
         latency_window: int = 4096,
         executor_backend: Optional[str] = None,
+        shared_memory: Optional[bool] = None,
     ) -> None:
         self._graph = graph
         self._config = config or EVEConfig()
@@ -392,10 +549,12 @@ class SPGEngine:
         self._swap_lock = Lock()
         # Fail fast on bad names instead of at first batch.
         self._backend_name = resolve_backend_name(executor_backend)
+        self._shared_memory = shared_memory
         self._backend: Optional[ExecutorBackend] = None
         self._backend_fingerprint: Optional[str] = None
         self._backend_finalizer: Optional[weakref.finalize] = None
         self._backend_lock = Lock()
+        self._segment: Optional[SharedGraphSegment] = None
         # Validate eagerly so a bad value fails at construction time.
         plan_batch([], min_group_size=min_group_size)
         self._warm_graph(graph)
@@ -414,17 +573,27 @@ class SPGEngine:
 
     @classmethod
     def from_config(cls, graph: DiGraph, config: Optional[EngineConfig] = None) -> "SPGEngine":
-        """Build an engine from one declarative :class:`EngineConfig`."""
+        """Build an engine from one declarative :class:`EngineConfig`.
+
+        When the resolved shard count (``config.num_shards``, falling back
+        to ``$REPRO_SHARD_COUNT``) is positive, the returned engine is a
+        :class:`repro.service.shard.ShardedSPGEngine` — same graph, same
+        answers, partition-parallel backward passes.
+        """
         config = config or EngineConfig()
-        return cls(
-            graph,
-            config.eve_config(),
-            cache_size=config.cache_size,
-            max_workers=config.max_workers,
-            min_group_size=config.min_group_size,
-            latency_window=config.latency_window,
-            executor_backend=config.executor_backend,
-        )
+        # Local import: repro.service.shard builds on this module.
+        from repro.service.shard import ShardedSPGEngine, resolve_shard_count
+
+        num_shards = resolve_shard_count(config.num_shards)
+        if num_shards:
+            engine_cls = cls if issubclass(cls, ShardedSPGEngine) else ShardedSPGEngine
+            return engine_cls(
+                graph,
+                config.eve_config(),
+                num_shards=num_shards,
+                **config.engine_kwargs(),
+            )
+        return cls(graph, config.eve_config(), **config.engine_kwargs())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -464,18 +633,91 @@ class SPGEngine:
     # ------------------------------------------------------------------
     # Backend lifecycle
     # ------------------------------------------------------------------
+    def _batch_fingerprint(self, graph: DiGraph) -> str:
+        """The serving-identity fingerprint batches and caches key on.
+
+        For the plain engine this is the graph fingerprint; the sharded
+        subclass derives a partition fingerprint from it, so cache entries
+        and process-pool staleness checks distinguish shard layouts.
+        """
+        return graph.fingerprint()
+
+    def _worker_init(self, graph: DiGraph) -> Tuple[object, Tuple[object, ...]]:
+        """``(initializer, initargs)`` for pickled-graph process workers."""
+        return _init_process_worker, (graph, self._config)
+
+    def _shared_worker_init(
+        self, descriptor: SharedGraphDescriptor
+    ) -> Tuple[object, Tuple[object, ...]]:
+        """``(initializer, initargs)`` for shared-memory process workers."""
+        return _init_shared_process_worker, (descriptor, self._config)
+
+    def _create_segment(self, graph: DiGraph) -> Optional[SharedGraphSegment]:
+        """Build the shared CSR segment for ``graph``, honouring the knob.
+
+        ``shared_memory=None`` treats an allocation failure as "platform
+        does not support it" and falls back to pickled workers; an explicit
+        ``True`` propagates the failure.
+        """
+        if self._shared_memory is False:
+            return None
+        try:
+            return SharedGraphSegment(graph)
+        except Exception:
+            if self._shared_memory:
+                raise
+            return None
+
     def _build_backend(
         self, max_workers: Optional[int], graph: Optional[DiGraph] = None
     ) -> ExecutorBackend:
-        if self._backend_name == "process":
-            graph = self._graph if graph is None else graph
-            return create_backend(
-                "process",
-                max_workers,
-                initializer=_init_process_worker,
-                initargs=(graph, self._config),
+        """Build one *transient* backend (per-batch/stream width overrides).
+
+        Transient pools have no engine-tracked lifecycle slot for a
+        shared-memory block, so under the automatic setting they use the
+        pickled-graph initializer and only :meth:`_build_persistent_backend`
+        attaches workers to a tracked segment.  An explicit
+        ``shared_memory=True`` is a contract, though — workers must never
+        hold a pickled graph copy — so that case builds a segment here too
+        and ties its unlink to the backend's own ``close()``.
+        """
+        if self._backend_name != "process":
+            return create_backend(self._backend_name, max_workers)
+        graph = self._graph if graph is None else graph
+        if self._shared_memory:
+            segment = SharedGraphSegment(graph)  # required: failures propagate
+            initializer, initargs = self._shared_worker_init(segment.descriptor)
+            backend = create_backend(
+                "process", max_workers, initializer=initializer, initargs=initargs
             )
-        return create_backend(self._backend_name, max_workers)
+            _bind_segment_to_backend(backend, segment)
+            return backend
+        initializer, initargs = self._worker_init(graph)
+        return create_backend(
+            "process", max_workers, initializer=initializer, initargs=initargs
+        )
+
+    def _build_persistent_backend(
+        self, max_workers: Optional[int], graph: DiGraph
+    ) -> ExecutorBackend:
+        """Build the engine-owned backend, with shared-memory workers.
+
+        When the segment can be created (see :meth:`_create_segment`), the
+        pool initializer attaches each worker to it zero-copy and the
+        segment is tracked in ``self._segment`` — closed on staleness
+        rebuilds, :meth:`close` and the GC finalizer.  Otherwise this
+        degrades to the transient (pickled-graph) builder.
+        """
+        if self._backend_name == "process":
+            segment = self._create_segment(graph)
+            if segment is not None:
+                initializer, initargs = self._shared_worker_init(segment.descriptor)
+                backend = create_backend(
+                    "process", max_workers, initializer=initializer, initargs=initargs
+                )
+                self._segment = segment
+                return backend
+        return self._build_backend(max_workers, graph)
 
     def _backend_is_stale(
         self,
@@ -492,7 +734,7 @@ class SPGEngine:
         """
         return self._backend_name == "process" and (
             getattr(backend, "broken", False)
-            or recorded_fingerprint != graph.fingerprint()
+            or recorded_fingerprint != self._batch_fingerprint(graph)
         )
 
     def _is_default_width(self, max_workers: int) -> bool:
@@ -525,18 +767,30 @@ class SPGEngine:
             ):
                 backend.close()
                 backend = None
+                self._close_segment()
             if backend is None:
-                backend = self._build_backend(self._max_workers, graph)
+                backend = self._build_persistent_backend(self._max_workers, graph)
                 self._backend = backend
-                self._backend_fingerprint = graph.fingerprint()
+                self._backend_fingerprint = self._batch_fingerprint(graph)
                 # Engines dropped without close() must not leak warm pools
-                # (process workers would outlive the engine until exit).
-                # Exactly one finalizer is kept: the superseded one is
-                # detached so rebuilds do not accumulate dead backends.
+                # (process workers would outlive the engine until exit) or
+                # shared-memory blocks (which would outlive the *machine
+                # boot* without an unlink).  Exactly one finalizer is kept:
+                # the superseded one is detached so rebuilds do not
+                # accumulate dead backends.
                 if self._backend_finalizer is not None:
                     self._backend_finalizer.detach()
-                self._backend_finalizer = weakref.finalize(self, backend.close)
+                self._backend_finalizer = weakref.finalize(
+                    self, _release_backend, backend, self._segment
+                )
             return backend
+
+    def _close_segment(self) -> None:
+        """Unlink the current shared segment, if any (idempotent)."""
+        segment = self._segment
+        self._segment = None
+        if segment is not None:
+            segment.close()
 
     def _checkout_backend(
         self, max_workers: Optional[int]
@@ -578,6 +832,7 @@ class SPGEngine:
                 self._backend.close()
                 self._backend = None
                 self._backend_fingerprint = None
+            self._close_segment()
             if self._backend_finalizer is not None:
                 self._backend_finalizer.detach()
                 self._backend_finalizer = None
@@ -628,7 +883,9 @@ class SPGEngine:
         graph = self._graph
         key = None
         if use_cache and self._cache is not None:
-            key = make_cache_key(source, target, k, self._config, graph.fingerprint())
+            key = make_cache_key(
+                source, target, k, self._config, self._batch_fingerprint(graph)
+            )
             hit = self._cache.get(key)
             if hit is not None:
                 self._stats.record_query(0.0, cached=True)
@@ -838,7 +1095,7 @@ class SPGEngine:
         """Normalise, consult the cache, dedupe and plan one batch."""
         raw_queries = list(queries)
         graph = self._graph
-        fingerprint = graph.fingerprint()
+        fingerprint = self._batch_fingerprint(graph)
 
         normalized: List[Optional[Tuple[Vertex, Vertex, int]]] = []
         outcomes: List[Optional[QueryOutcome]] = [None] * len(raw_queries)

@@ -1,0 +1,322 @@
+"""Partition-parallel serving: the sharded SPG engine.
+
+:class:`ShardedSPGEngine` serves the same queries as
+:class:`~repro.service.engine.SPGEngine` — answer-identically, on every
+executor backend, with the same :class:`~repro.service.engine.BatchReport`
+contract — but treats the graph as a :class:`~repro.graph.partition.ShardSet`
+of vertex-range CSR slices:
+
+* every planner ``(t, k)`` group is **routed to the shard owning** ``t``
+  (pure range arithmetic, see :func:`repro.graph.partition.owner_of`);
+* shared backward distance passes run **shard-locally with halo frontier
+  exchange** (:meth:`~repro.graph.partition.ShardSet.backward_distance_map`)
+  instead of a whole-graph reverse BFS — each BFS level only touches the
+  reverse-CSR slices of the shards owning frontier vertices;
+* result caches and process-pool staleness checks key on the **shard-set
+  fingerprint** (parent graph fingerprint + shard count), so a graph swap
+  or a different shard layout can never serve stale entries or reach a
+  desynchronised worker;
+* process-pool workers install the shard set once at initialisation — from
+  the shared-memory CSR segment when enabled (the shard slices then alias
+  the shared block zero-copy), from the pickled graph otherwise.
+
+Identity to the whole-graph engine is not an aspiration but a tested
+contract: ``tests/test_sharding.py`` holds every shard count x backend
+combination to byte-identical canonical reports.
+
+Shard-count selection mirrors the executor-backend convention: explicit
+argument first, then the ``REPRO_SHARD_COUNT`` environment variable, and
+``SPGEngine.from_config`` / the ``--shards`` CLI flag route through
+:func:`resolve_shard_count`.
+"""
+
+from __future__ import annotations
+
+import os
+from threading import Lock
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.eve import EVEConfig
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import (
+    ShardSet,
+    owner_of,
+    partition_graph,
+    shard_set_fingerprint,
+)
+from repro.graph.shm import SharedGraphDescriptor
+from repro.service.engine import (
+    SPGEngine,
+    _execute_group,
+    _init_process_worker,
+    _attach_worker_graph,
+)
+from repro.service import engine as _engine_module
+from repro.service.executor import Call, ExecutorBackend
+from repro.service.planner import QueryGroup
+
+__all__ = [
+    "ShardedSPGEngine",
+    "SHARD_ENV_VAR",
+    "resolve_shard_count",
+]
+
+#: Environment variable consulted when no shard count is named (engine
+#: construction via ``from_config``, the CLI ``--shards`` default); lets CI
+#: serve whole test workloads partition-parallel, mirroring
+#: :data:`repro.service.executor.BACKEND_ENV_VAR`.
+SHARD_ENV_VAR = "REPRO_SHARD_COUNT"
+
+
+def resolve_shard_count(value: Optional[object]) -> int:
+    """Resolve a shard count, falling back to ``$REPRO_SHARD_COUNT``.
+
+    ``None`` reads the environment variable; an unset/empty variable means
+    0.  The result is a non-negative integer where ``0`` selects the plain
+    (unsharded) engine; anything else raises :class:`ValueError`.
+    """
+    if value is None:
+        raw = os.environ.get(SHARD_ENV_VAR)
+        if not raw:
+            return 0
+        value = raw
+    try:
+        count = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"shard count must be a non-negative integer, got {value!r}"
+        ) from None
+    if count < 0:
+        raise ValueError(f"shard count must be non-negative, got {count}")
+    return count
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker state (one shard set per worker process)
+# ----------------------------------------------------------------------
+_worker_shard_set: Optional[ShardSet] = None
+
+
+def _init_sharded_worker(graph: DiGraph, num_shards: int, config: EVEConfig) -> None:
+    """Pool initializer: install the graph *and its partition* in this worker."""
+    _init_process_worker(graph, config)
+    global _worker_shard_set
+    _worker_shard_set = partition_graph(graph, num_shards)
+
+
+def _init_sharded_shared_worker(
+    descriptor: SharedGraphDescriptor, num_shards: int, config: EVEConfig
+) -> None:
+    """Shared-memory twin of :func:`_init_sharded_worker`.
+
+    The worker attaches to the parent's CSR segment zero-copy and cuts its
+    shard slices *into the shared block* — per-worker memory for the edge
+    arrays stays O(1) regardless of graph size or shard count.
+    """
+    _init_sharded_worker(_attach_worker_graph(descriptor), num_shards, config)
+
+
+def _sharded_process_run_group(
+    shard_fingerprint: str, shard_id: int, group: QueryGroup
+) -> object:
+    """Worker-side group runner for the sharded engine's process backend.
+
+    ``shard_fingerprint`` is the parent engine's shard-set fingerprint; a
+    mismatch means this worker was initialised against a different graph or
+    shard layout and must fail loudly.  ``shard_id`` is the routing
+    decision (owner of the group's target) made in the parent — verified
+    here so a routing/partitioning disagreement surfaces as an error
+    instead of silently seeding the BFS elsewhere.
+    """
+    shard_set = _worker_shard_set
+    if shard_set is None or _engine_module._worker_graph is None:
+        raise RuntimeError("sharded process worker used before initialisation")
+    if shard_fingerprint != shard_set.fingerprint:
+        raise RuntimeError(
+            f"sharded worker fingerprint {shard_set.fingerprint} does not "
+            f"match batch shard-set fingerprint {shard_fingerprint}"
+        )
+    if 0 <= group.target < shard_set.num_vertices and (
+        shard_set.owner(group.target) != shard_id
+    ):
+        raise RuntimeError(
+            f"group for target {group.target} routed to shard {shard_id}, "
+            f"but the worker partition owns it on shard "
+            f"{shard_set.owner(group.target)}"
+        )
+    return _execute_group(
+        _engine_module._worker_graph,
+        _engine_module._worker_config,
+        group,
+        _engine_module._worker_borrow,
+        shared_backward_for=shard_set.backward_distance_map,
+    )
+
+
+class ShardedSPGEngine(SPGEngine):
+    """An :class:`SPGEngine` that serves through a vertex-range partition.
+
+    Parameters are those of :class:`SPGEngine` plus:
+
+    num_shards:
+        Number of vertex-range shards.  ``None`` defers to
+        ``$REPRO_SHARD_COUNT`` and finally to 1 (a single-shard engine
+        exercises the full sharded machinery on one slice).
+
+    Everything a caller can observe — answers, report accounting, ordering,
+    error isolation, async/stream behaviour, backend equivalence — matches
+    the whole-graph engine; what changes is *how* shared backward passes
+    are computed (halo exchange across shard slices), how process workers
+    hold the graph (a shard set over the shared segment), and what the
+    caches key on (the shard-set fingerprint).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: Optional[EVEConfig] = None,
+        *,
+        num_shards: Optional[int] = None,
+        **kwargs: object,
+    ) -> None:
+        if num_shards is None:
+            count = resolve_shard_count(None) or 1
+        else:
+            count = int(num_shards)
+            if count < 1:
+                raise ValueError(
+                    f"ShardedSPGEngine needs num_shards >= 1, got {count}"
+                )
+        self._num_shards = count
+        self._shard_set: Optional[ShardSet] = None
+        self._route_lock = Lock()
+        self._routed_groups: Dict[int, int] = {}
+        super().__init__(graph, config, **kwargs)
+        self._shard_set = partition_graph(graph, count)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def shard_set(self) -> ShardSet:
+        return self._shard_set
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        snapshot = super().stats_snapshot()
+        snapshot["num_shards"] = self._num_shards
+        snapshot["shard_set_fingerprint"] = self._batch_fingerprint(self._graph)
+        with self._route_lock:
+            snapshot["shard_routed_groups"] = dict(self._routed_groups)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Serving identity: the shard-set fingerprint
+    # ------------------------------------------------------------------
+    def _batch_fingerprint(self, graph: DiGraph) -> str:
+        # Derivable without partitioning, so a mid-swap reader never pays
+        # (or races) a partition build just to key the cache.
+        return shard_set_fingerprint(graph.fingerprint(), self._num_shards)
+
+    # ------------------------------------------------------------------
+    # Graph lifecycle
+    # ------------------------------------------------------------------
+    def set_graph(self, graph: DiGraph, *, clear_cache: bool = False) -> None:
+        """Swap the served graph and re-partition it.
+
+        A batch racing the swap stays correct either way: group execution
+        only trusts the shard set when its parent fingerprint matches the
+        batch's graph, and falls back to the (answer-identical) whole-graph
+        backward pass otherwise.
+        """
+        shard_set = partition_graph(graph, self._num_shards)
+        super().set_graph(graph, clear_cache=clear_cache)
+        self._shard_set = shard_set
+
+    # ------------------------------------------------------------------
+    # Group execution
+    # ------------------------------------------------------------------
+    def _shared_backward_provider(self, graph: DiGraph):
+        """The halo-exchange backward-pass provider for ``graph``.
+
+        Returns ``None`` (whole-graph fallback) when the current shard set
+        does not belong to ``graph`` — only possible mid-swap.
+        """
+        shard_set = self._shard_set
+        if shard_set is None or shard_set.parent_fingerprint != graph.fingerprint():
+            return None
+        stats = self._stats
+
+        def provider(target, k):
+            shared = shard_set.backward_distance_map(target, k)
+            stats.record_sharded_backward()
+            return shared
+
+        return provider
+
+    def _run_group(self, graph: DiGraph, group: QueryGroup) -> object:
+        return _execute_group(
+            graph,
+            self._config,
+            group,
+            self._scratch.borrow,
+            shared_backward_for=self._shared_backward_provider(graph),
+        )
+
+    def _record_routes(self, routes: List[int]) -> None:
+        with self._route_lock:
+            counts = self._routed_groups
+            for shard_id in routes:
+                counts[shard_id] = counts.get(shard_id, 0) + 1
+
+    def _group_tasks(self, prepared, backend: ExecutorBackend) -> List[Call]:
+        """Route each planned group to the shard owning its target."""
+        num_vertices = prepared.graph.num_vertices
+        num_shards = self._num_shards
+        routes = [
+            owner_of(num_vertices, num_shards, group.target)
+            if 0 <= group.target < num_vertices
+            # Groups with an out-of-range target fail per query anyway;
+            # route them to shard 0 so the payload stays well-formed.
+            else 0
+            for group in prepared.plan.groups
+        ]
+        self._record_routes(routes)
+        if backend.requires_picklable_tasks:
+            return [
+                Call(
+                    _sharded_process_run_group,
+                    (prepared.fingerprint, shard_id, group),
+                )
+                for shard_id, group in zip(routes, prepared.plan.groups)
+            ]
+        graph = prepared.graph
+        return [
+            Call(self._run_group, (graph, group)) for group in prepared.plan.groups
+        ]
+
+    # ------------------------------------------------------------------
+    # Process-backend worker installation
+    # ------------------------------------------------------------------
+    def _worker_init(self, graph: DiGraph) -> Tuple[object, Tuple[object, ...]]:
+        return _init_sharded_worker, (graph, self._num_shards, self._config)
+
+    def _shared_worker_init(
+        self, descriptor: SharedGraphDescriptor
+    ) -> Tuple[object, Tuple[object, ...]]:
+        return _init_sharded_shared_worker, (
+            descriptor,
+            self._num_shards,
+            self._config,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSPGEngine(graph={self._graph.name!r}, "
+            f"vertices={self._graph.num_vertices}, edges={self._graph.num_edges}, "
+            f"shards={self._num_shards}, backend={self._backend_name!r}, "
+            f"cache={'off' if self._cache is None else len(self._cache)})"
+        )

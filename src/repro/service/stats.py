@@ -81,6 +81,7 @@ class EngineStats:
         self.cache_misses = 0
         self.errors = 0
         self.shared_backward_reuses = 0
+        self.sharded_backward_passes = 0
         self.scratch_allocations = 0
         self.scratch_reuses = 0
 
@@ -110,6 +111,17 @@ class EngineStats:
         """Record one served batch."""
         with self._lock:
             self.batches_served += 1
+
+    def record_sharded_backward(self) -> None:
+        """Record one backward pass computed partition-parallel.
+
+        Counted by :class:`repro.service.shard.ShardedSPGEngine` whenever a
+        shared ``(t, k)`` pass runs through the halo-exchange kernel
+        *in-process*; like the scratch counters, passes computed inside
+        process-pool workers stay invisible to the parent's stats.
+        """
+        with self._lock:
+            self.sharded_backward_passes += 1
 
     def record_scratch(self, *, reused: bool) -> None:
         """Record one scratch-buffer checkout (allocation vs pool reuse).
@@ -158,6 +170,7 @@ class EngineStats:
                 "hit_rate": self.cache_hits / total if total else 0.0,
                 "errors": self.errors,
                 "shared_backward_reuses": self.shared_backward_reuses,
+                "sharded_backward_passes": self.sharded_backward_passes,
                 "scratch_allocations": self.scratch_allocations,
                 "scratch_reuses": self.scratch_reuses,
                 "p50_ms": self._latencies.quantile(0.50) * 1000.0,
@@ -176,6 +189,7 @@ class EngineStats:
             self.cache_misses = 0
             self.errors = 0
             self.shared_backward_reuses = 0
+            self.sharded_backward_passes = 0
             self.scratch_allocations = 0
             self.scratch_reuses = 0
 

@@ -1,0 +1,914 @@
+"""Sharded-vs-whole differential harness, partitioner invariants, shm lifecycle.
+
+Three contracts are enforced here:
+
+1. **Partitioner invariants** (`repro.graph.partition`): every vertex in
+   exactly one shard; every edge either local to exactly one shard or in
+   exactly one cut table; shard fingerprints change exactly when the
+   parent fingerprint or the shard count changes.
+2. **Answer identity** (`repro.service.shard.ShardedSPGEngine`): randomized
+   graphs and workloads — including injected per-query errors, duplicate
+   queries, cache revisits, streams, async batches and graph-swap
+   staleness — served at shard counts {1, 2, 4, 7} across all four
+   executor backends must produce reports *identical* to the whole-graph
+   `SPGEngine` (canonicalised exactly like the cross-backend harness in
+   ``tests/test_executor_backends.py``, whose helpers are reused).
+3. **Shared-memory lifecycle** (`repro.graph.shm`): segments are unlinked
+   exactly once (``close()`` / GC finalizer), spawn-pool workers attach to
+   the CSR arrays zero-copy instead of unpickling the graph, and dropping
+   an engine without ``close()`` leaks neither the block nor a
+   ``resource_tracker`` warning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from functools import lru_cache
+
+import pytest
+
+from test_executor_backends import (
+    BAD_QUERIES,
+    canonical_outcome,
+    canonical_report,
+    random_workload,
+)
+
+from repro import DiGraph, SPGEngine, build_spg
+from repro.core.distances import (
+    backward_distance_map,
+    sharded_backward_distance_map,
+)
+from repro.exceptions import GraphError, QueryError, VertexError
+from repro.graph.generators import erdos_renyi, path_graph, power_law_cluster, star_graph
+from repro.graph.partition import (
+    GraphShard,
+    ShardSet,
+    owner_of,
+    partition_graph,
+    partition_ranges,
+    shard_fingerprint,
+    shard_set_fingerprint,
+)
+from repro.graph.shm import (
+    CSRGraphView,
+    SharedGraphSegment,
+    attach_shared_graph,
+    shared_memory_available,
+)
+from repro.queries.workload import random_reachable_queries
+from repro.service import (
+    EXECUTOR_BACKENDS,
+    SHARD_ENV_VAR,
+    Call,
+    EngineConfig,
+    ShardedSPGEngine,
+    resolve_shard_count,
+)
+from repro.service.engine import _worker_graph_probe
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: The acceptance matrix: every differential test runs at these counts.
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+@pytest.fixture(params=EXECUTOR_BACKENDS)
+def backend(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=SHARD_COUNTS)
+def shard_count(request) -> int:
+    return request.param
+
+
+def make_sharded(graph, backend_name: str, num_shards: int, **kwargs) -> ShardedSPGEngine:
+    kwargs.setdefault("max_workers", 2)
+    return ShardedSPGEngine(
+        graph, executor_backend=backend_name, num_shards=num_shards, **kwargs
+    )
+
+
+@lru_cache(maxsize=None)
+def whole_graph_reference(seed: int):
+    """Canonical first/second-pass reports of the whole-graph serial engine."""
+    graph, queries = random_workload(seed)
+    with SPGEngine(graph, executor_backend="serial", max_workers=2) as engine:
+        first = canonical_report(engine.run_batch(queries))
+        second = canonical_report(engine.run_batch(queries))
+    return first, second
+
+
+# ----------------------------------------------------------------------
+# Partitioner invariants
+# ----------------------------------------------------------------------
+GRAPH_CASES = [
+    ("er-dense", lambda: erdos_renyi(26, 2.5, seed=1)),
+    ("er-sparse", lambda: erdos_renyi(31, 1.2, seed=5)),
+    ("power-law", lambda: power_law_cluster(30, 2, seed=2)),
+    ("path", lambda: path_graph(9)),
+    ("star", lambda: star_graph(8)),
+    ("edgeless", lambda: DiGraph.empty(5)),
+    ("single-vertex", lambda: DiGraph.empty(1)),
+    ("zero-vertex", lambda: DiGraph.empty(0)),
+]
+
+
+@pytest.fixture(params=GRAPH_CASES, ids=[case[0] for case in GRAPH_CASES])
+def any_graph(request) -> DiGraph:
+    return request.param[1]()
+
+
+class TestPartitionRanges:
+    @pytest.mark.parametrize("num_vertices", [0, 1, 2, 7, 26, 40])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7, 9])
+    def test_ranges_cover_every_vertex_once(self, num_vertices, num_shards):
+        ranges = partition_ranges(num_vertices, num_shards)
+        assert len(ranges) == num_shards
+        cursor = 0
+        for lo, hi in ranges:
+            assert lo == cursor and hi >= lo
+            cursor = hi
+        assert cursor == num_vertices
+        # Balanced: sizes differ by at most one.
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("num_vertices", [1, 2, 7, 26, 40])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7, 9])
+    def test_owner_of_matches_ranges(self, num_vertices, num_shards):
+        ranges = partition_ranges(num_vertices, num_shards)
+        for vertex in range(num_vertices):
+            owner = owner_of(num_vertices, num_shards, vertex)
+            lo, hi = ranges[owner]
+            assert lo <= vertex < hi
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(VertexError):
+            owner_of(10, 2, 10)
+        with pytest.raises(VertexError):
+            owner_of(10, 2, -1)
+
+    @pytest.mark.parametrize("bad_count", [0, -1, -7])
+    def test_invalid_shard_count_rejected(self, bad_count):
+        with pytest.raises(GraphError):
+            partition_ranges(10, bad_count)
+        with pytest.raises(GraphError):
+            partition_graph(erdos_renyi(10, 1.0, seed=0), bad_count)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_every_vertex_in_exactly_one_shard(self, any_graph, num_shards):
+        shard_set = partition_graph(any_graph, num_shards)
+        owners = [
+            [shard.shard_id for shard in shard_set if shard.owns(vertex)]
+            for vertex in any_graph.vertices()
+        ]
+        assert all(len(owner_list) == 1 for owner_list in owners)
+        assert [owner_list[0] for owner_list in owners] == [
+            shard_set.owner(vertex) for vertex in any_graph.vertices()
+        ]
+        assert sum(shard.num_vertices for shard in shard_set) == any_graph.num_vertices
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_every_edge_local_or_in_exactly_one_cut_table(self, any_graph, num_shards):
+        shard_set = partition_graph(any_graph, num_shards)
+        local_edges: list = []
+        cut_edges: list = []
+        for shard in shard_set:
+            shard_cut = set(shard.cut_edges())
+            assert len(shard_cut) == shard.num_cut_edges
+            cut_edges.extend(shard_cut)
+            for tail in shard.vertices():
+                for head in shard.out_neighbors(tail):
+                    edge = (tail, head)
+                    if shard.owns(head):
+                        assert edge not in shard_cut
+                        local_edges.append(edge)
+                    else:
+                        # A cut edge belongs to the cut table of the shard
+                        # owning its tail — and no other table.
+                        assert edge in shard_cut
+            assert shard.num_local_edges + shard.num_cut_edges == shard.num_edges
+        assert len(local_edges) == len(set(local_edges))
+        assert len(cut_edges) == len(set(cut_edges))
+        assert set(local_edges) | set(cut_edges) == any_graph.edge_set()
+        assert not set(local_edges) & set(cut_edges)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_slices_match_parent_adjacency(self, any_graph, num_shards):
+        shard_set = partition_graph(any_graph, num_shards)
+        for shard in shard_set:
+            for vertex in shard.vertices():
+                assert list(shard.out_neighbors(vertex)) == list(
+                    any_graph.out_neighbors(vertex)
+                )
+                assert list(shard.in_neighbors(vertex)) == list(
+                    any_graph.in_neighbors(vertex)
+                )
+
+    def test_unowned_vertex_access_rejected(self):
+        graph = erdos_renyi(20, 2.0, seed=3)
+        shard_set = partition_graph(graph, 4)
+        shard = shard_set[0]
+        with pytest.raises(VertexError):
+            shard.out_neighbors(shard.hi)
+        with pytest.raises(VertexError):
+            shard.in_neighbors(graph.num_vertices + 5)
+
+    def test_cut_table_is_built_lazily(self):
+        # No serving path reads the halo table, so partitioning (notably
+        # per-worker pool initialisation) must not pay the O(edges) scan.
+        graph = erdos_renyi(20, 2.0, seed=3)
+        shard = partition_graph(graph, 4)[0]
+        assert shard._cut is None
+        first = sorted(shard.cut_edges())
+        assert shard._cut is not None
+        assert sorted(shard.cut_edges()) == first  # built once, stable
+
+    def test_more_shards_than_vertices(self):
+        graph = erdos_renyi(3, 1.0, seed=4)
+        shard_set = partition_graph(graph, 7)
+        assert len(shard_set) == 7
+        assert sum(shard.num_vertices for shard in shard_set) == 3
+        assert [shard_set.owner(v) for v in graph.vertices()] == [0, 1, 2]
+        # Empty shards own nothing and hold no edges.
+        for shard in list(shard_set)[3:]:
+            assert shard.num_vertices == 0 and shard.num_edges == 0
+
+
+class TestShardFingerprints:
+    def test_deterministic_across_rebuilds(self):
+        graph = erdos_renyi(24, 2.0, seed=6)
+        first = partition_graph(graph, 4)
+        second = partition_graph(graph, 4)
+        assert first.fingerprint == second.fingerprint
+        assert [s.fingerprint for s in first] == [s.fingerprint for s in second]
+
+    def test_equal_graphs_share_fingerprints(self):
+        graph = erdos_renyi(24, 2.0, seed=6)
+        clone = graph.copy(name="same-content")
+        assert (
+            partition_graph(graph, 3).fingerprint
+            == partition_graph(clone, 3).fingerprint
+        )
+
+    def test_changes_with_shard_count(self):
+        graph = erdos_renyi(24, 2.0, seed=6)
+        fingerprints = {partition_graph(graph, n).fingerprint for n in (1, 2, 3, 4, 7)}
+        assert len(fingerprints) == 5
+        # And never collides with the parent's own fingerprint.
+        assert graph.fingerprint() not in fingerprints
+
+    def test_changes_with_parent_graph(self):
+        graph = erdos_renyi(24, 2.0, seed=6)
+        edges = graph.to_edge_list()
+        mutated = DiGraph(graph.num_vertices, edges[:-1], name="one-edge-less")
+        assert (
+            partition_graph(graph, 4).fingerprint
+            != partition_graph(mutated, 4).fingerprint
+        )
+        for ours, theirs in zip(partition_graph(graph, 4), partition_graph(mutated, 4)):
+            assert ours.fingerprint != theirs.fingerprint
+
+    def test_shard_fingerprints_pairwise_distinct(self):
+        graph = erdos_renyi(24, 2.0, seed=6)
+        shard_set = partition_graph(graph, 7)
+        fingerprints = [shard.fingerprint for shard in shard_set]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_derivable_without_partitioning(self):
+        graph = erdos_renyi(24, 2.0, seed=6)
+        shard_set = partition_graph(graph, 4)
+        assert shard_set.fingerprint == shard_set_fingerprint(graph.fingerprint(), 4)
+        for shard in shard_set:
+            assert shard.fingerprint == shard_fingerprint(
+                graph.fingerprint(), 4, shard.shard_id, shard.lo, shard.hi
+            )
+
+
+class TestShardPickling:
+    def test_shard_set_round_trip(self):
+        graph = power_law_cluster(28, 2, seed=7)
+        shard_set = partition_graph(graph, 4)
+        clone = pickle.loads(pickle.dumps(shard_set))
+        assert isinstance(clone, ShardSet)
+        assert clone.fingerprint == shard_set.fingerprint
+        assert clone.graph == graph
+        assert [s.fingerprint for s in clone] == [s.fingerprint for s in shard_set]
+        whole = backward_distance_map(graph, 5, 4).distances
+        assert dict(clone.backward_distance_map(5, 4).distances.items()) == dict(
+            whole.items()
+        )
+
+    def test_single_shard_round_trip(self):
+        graph = erdos_renyi(18, 2.0, seed=8)
+        shard = partition_graph(graph, 3)[1]
+        clone = pickle.loads(pickle.dumps(shard))
+        assert isinstance(clone, GraphShard)
+        assert (clone.lo, clone.hi) == (shard.lo, shard.hi)
+        assert clone.fingerprint == shard.fingerprint
+        assert sorted(clone.cut_edges()) == sorted(shard.cut_edges())
+        for vertex in shard.vertices():
+            assert list(clone.out_neighbors(vertex)) == list(shard.out_neighbors(vertex))
+            assert list(clone.in_neighbors(vertex)) == list(shard.in_neighbors(vertex))
+
+
+# ----------------------------------------------------------------------
+# The halo-exchange backward pass
+# ----------------------------------------------------------------------
+class TestShardedBackwardPass:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_identical_to_whole_graph_pass(self, seed, num_shards):
+        graph, _ = random_workload(seed)
+        shard_set = partition_graph(graph, num_shards)
+        for target in range(0, graph.num_vertices, 5):
+            for k in (1, 2, 4, 7):
+                whole = backward_distance_map(graph, target, k)
+                sharded = shard_set.backward_distance_map(target, k)
+                assert sharded.target == whole.target and sharded.k == whole.k
+                assert dict(sharded.distances.items()) == dict(whole.distances.items())
+                assert len(sharded) == len(whole)
+
+    def test_error_parity_with_whole_graph_pass(self):
+        graph = erdos_renyi(20, 2.0, seed=9)
+        shard_set = partition_graph(graph, 4)
+        with pytest.raises(VertexError) as whole_error:
+            backward_distance_map(graph, 99, 3)
+        with pytest.raises(VertexError) as sharded_error:
+            shard_set.backward_distance_map(99, 3)
+        assert str(sharded_error.value) == str(whole_error.value)
+        with pytest.raises(QueryError, match="k must be >= 1"):
+            sharded_backward_distance_map(shard_set, 0, 0)
+
+    def test_expansion_only_touches_owning_slices(self):
+        # Seeding the BFS at a vertex of the last shard must still reach
+        # everything (the halo exchange hands frontiers across shards).
+        graph = path_graph(12)  # 0 -> 1 -> ... -> 11
+        shard_set = partition_graph(graph, 4)
+        distances = shard_set.backward_distance_map(11, 11).distances
+        assert dict(distances.items()) == {11 - d: d for d in range(12)}
+
+
+# ----------------------------------------------------------------------
+# Sharded vs whole: the differential harness
+# ----------------------------------------------------------------------
+class TestShardedDifferential:
+    def test_randomized_workloads_identical_to_whole_engine(self, backend, shard_count):
+        for seed in (1, 2, 3):
+            graph, queries = random_workload(seed)
+            reference_first, reference_second = whole_graph_reference(seed)
+            with make_sharded(graph, backend, shard_count) as engine:
+                assert engine.executor_backend == backend
+                assert engine.num_shards == shard_count
+                first = engine.run_batch(queries)
+                second = engine.run_batch(queries)
+            assert canonical_report(first) == reference_first
+            assert canonical_report(second) == reference_second
+
+    def test_results_match_cold_build_spg(self, backend, shard_count):
+        graph, queries = random_workload(4)
+        with make_sharded(graph, backend, shard_count) as engine:
+            report = engine.run_batch(queries)
+        for outcome, query in zip(report, queries):
+            if outcome.ok:
+                reference = build_spg(graph, *query)
+                assert outcome.edges == reference.edges
+                assert outcome.result.upper_bound_edges == reference.upper_bound_edges
+
+    def test_injected_errors_identical_to_whole_engine(self, backend, shard_count):
+        graph = erdos_renyi(30, 2.5, seed=9)
+        good = random_reachable_queries(graph, 4, 6, seed=9).as_batch()
+        queries: list = []
+        for index, entry in enumerate(good):
+            queries.append(entry)
+            queries.append(BAD_QUERIES[index % len(BAD_QUERIES)][0])
+        with SPGEngine(graph, executor_backend="serial", max_workers=2) as whole:
+            reference = canonical_report(whole.run_batch(queries))
+        with make_sharded(graph, backend, shard_count) as engine:
+            report = engine.run_batch(queries)
+        assert canonical_report(report) == reference
+        assert report.errors == len(good)
+
+    def test_streams_identical_to_whole_engine(self, backend, shard_count):
+        graph, queries = random_workload(5)
+        with SPGEngine(graph, executor_backend="serial", max_workers=2) as whole:
+            reference = [
+                canonical_outcome(outcome)
+                for outcome in whole.run_stream(iter(queries), batch_size=5)
+            ]
+        with make_sharded(graph, backend, shard_count) as engine:
+            outcomes = [
+                canonical_outcome(outcome)
+                for outcome in engine.run_stream(iter(queries), batch_size=5)
+            ]
+        assert outcomes == reference
+
+    def test_async_batches_identical_to_whole_engine(self, backend, shard_count):
+        graph, queries = random_workload(6)
+        with SPGEngine(graph, executor_backend="serial", max_workers=2) as whole:
+            reference = canonical_report(whole.run_batch(queries))
+
+        async def serve():
+            with make_sharded(graph, backend, shard_count) as engine:
+                return await engine.run_batch_async(queries)
+
+        assert canonical_report(asyncio.run(serve())) == reference
+
+    def test_single_queries_identical_and_cached(self, shard_count):
+        graph = erdos_renyi(24, 2.5, seed=11)
+        queries = random_reachable_queries(graph, 4, 5, seed=11).as_batch()
+        with make_sharded(graph, "serial", shard_count) as engine:
+            for source, target, k in queries:
+                assert engine.query(source, target, k).edges == build_spg(
+                    graph, source, target, k
+                ).edges
+            # Batch revisits hit the cache populated by single queries.
+            report = engine.run_batch(queries)
+        assert report.cache_hits == len(queries)
+
+    def test_graph_swap_staleness(self, backend, shard_count):
+        first_graph = erdos_renyi(24, 2.5, seed=30)
+        second_graph = erdos_renyi(24, 2.5, seed=31)
+        queries = random_reachable_queries(first_graph, 3, 6, seed=30).as_batch()
+        with make_sharded(first_graph, backend, shard_count) as engine:
+            before = engine.run_batch(queries)
+            engine.set_graph(second_graph)
+            after = engine.run_batch(queries)
+        for outcome, query in zip(before, queries):
+            if outcome.ok:
+                assert outcome.edges == build_spg(first_graph, *query).edges
+        for outcome, query in zip(after, queries):
+            if outcome.ok:
+                assert outcome.edges == build_spg(second_graph, *query).edges
+
+    def test_mid_stream_graph_swap(self, shard_count):
+        first_graph = erdos_renyi(24, 2.5, seed=32)
+        second_graph = erdos_renyi(24, 2.5, seed=33)
+        queries = random_reachable_queries(first_graph, 3, 6, seed=32).as_batch()
+        engine = make_sharded(first_graph, "process", shard_count, cache_size=0)
+
+        def feed():
+            for query in queries[:3]:
+                yield query
+            engine.set_graph(second_graph)
+            for query in queries[3:]:
+                yield query
+
+        try:
+            outcomes = list(engine.run_stream(feed(), batch_size=3))
+        finally:
+            engine.close()
+        for index, (outcome, query) in enumerate(zip(outcomes, queries)):
+            graph = first_graph if index < 3 else second_graph
+            assert outcome.ok, (index, outcome.error)
+            assert outcome.edges == build_spg(graph, *query).edges
+
+
+# ----------------------------------------------------------------------
+# Sharded engine lifecycle and accounting
+# ----------------------------------------------------------------------
+class TestShardedEngineLifecycle:
+    def test_process_pool_rebuilt_on_swap_kept_on_equal_swap(self):
+        graph = erdos_renyi(24, 2.5, seed=12)
+        other = erdos_renyi(24, 2.5, seed=13)
+        queries = random_reachable_queries(graph, 4, 4, seed=12).as_batch()
+        with make_sharded(graph, "process", 4) as engine:
+            engine.run_batch(queries)
+            warm = engine._backend
+            engine.set_graph(graph.copy(name="same-content"))
+            engine.run_batch(queries)
+            assert engine._backend is warm  # same partition fingerprint
+            engine.set_graph(other)
+            engine.run_batch(queries)
+            assert engine._backend is not warm
+
+    def test_cache_keys_on_shard_set_fingerprint(self):
+        graph = erdos_renyi(24, 2.5, seed=14)
+        with make_sharded(graph, "serial", 4) as engine:
+            assert engine._batch_fingerprint(graph) == shard_set_fingerprint(
+                graph.fingerprint(), 4
+            )
+            assert engine._batch_fingerprint(graph) != graph.fingerprint()
+        with make_sharded(graph, "serial", 2) as other:
+            assert other._batch_fingerprint(graph) != engine._batch_fingerprint(graph)
+
+    def test_stats_snapshot_extras(self):
+        graph, queries = random_workload(7)
+        with make_sharded(graph, "serial", 4) as engine:
+            report = engine.run_batch(queries)
+            snapshot = engine.stats_snapshot()
+        assert snapshot["num_shards"] == 4
+        assert snapshot["shard_set_fingerprint"] == shard_set_fingerprint(
+            graph.fingerprint(), 4
+        )
+        assert sum(snapshot["shard_routed_groups"].values()) == report.planned_groups
+        # Every shared group computed its backward pass via halo exchange.
+        assert snapshot["sharded_backward_passes"] == report.shared_groups
+
+    def test_groups_routed_to_target_owner(self):
+        graph = erdos_renyi(28, 2.5, seed=15)
+        hub = 20
+        queries = [(s, hub, 4) for s in (1, 3, 5, 7)] + [(2, 4, 3)]
+        with make_sharded(graph, "serial", 7) as engine:
+            engine.run_batch(queries)
+            routed = engine.stats_snapshot()["shard_routed_groups"]
+        n = graph.num_vertices
+        assert routed[owner_of(n, 7, hub)] >= 1
+        assert routed[owner_of(n, 7, 4)] >= 1
+
+    def test_close_is_idempotent_and_engine_recovers(self, shard_count):
+        graph, queries = random_workload(8)
+        engine = make_sharded(graph, "process", shard_count)
+        first = canonical_report(engine.run_batch(queries))
+        engine.close()
+        engine.close()
+        engine.clear_cache()
+        assert canonical_report(engine.run_batch(queries)) == first
+        engine.close()
+
+    def test_invalid_shard_counts_rejected(self):
+        graph = erdos_renyi(10, 1.5, seed=16)
+        with pytest.raises(ValueError):
+            ShardedSPGEngine(graph, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedSPGEngine(graph, num_shards=-3)
+
+
+# ----------------------------------------------------------------------
+# Shard-count resolution and from_config dispatch
+# ----------------------------------------------------------------------
+class TestShardCountResolution:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(SHARD_ENV_VAR, "7")
+        assert resolve_shard_count(3) == 3
+        assert resolve_shard_count(0) == 0
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(SHARD_ENV_VAR, "5")
+        assert resolve_shard_count(None) == 5
+        monkeypatch.delenv(SHARD_ENV_VAR)
+        assert resolve_shard_count(None) == 0
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_shard_count("four")
+        with pytest.raises(ValueError):
+            resolve_shard_count(-1)
+        monkeypatch.setenv(SHARD_ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            resolve_shard_count(None)
+
+    def test_from_config_dispatches_on_num_shards(self, monkeypatch):
+        monkeypatch.delenv(SHARD_ENV_VAR, raising=False)
+        graph = erdos_renyi(20, 2.0, seed=17)
+        plain = SPGEngine.from_config(graph, EngineConfig(executor_backend="serial"))
+        assert type(plain) is SPGEngine
+        sharded = SPGEngine.from_config(
+            graph, EngineConfig(executor_backend="serial", num_shards=4)
+        )
+        assert isinstance(sharded, ShardedSPGEngine)
+        assert sharded.num_shards == 4
+        plain.close()
+        sharded.close()
+
+    def test_from_config_honours_env_var(self, monkeypatch):
+        monkeypatch.setenv(SHARD_ENV_VAR, "3")
+        graph = erdos_renyi(20, 2.0, seed=17)
+        engine = SPGEngine.from_config(graph, EngineConfig(executor_backend="serial"))
+        assert isinstance(engine, ShardedSPGEngine)
+        assert engine.num_shards == 3
+        engine.close()
+
+    def test_engine_config_round_trip_with_shard_fields(self):
+        config = EngineConfig(num_shards=4, shared_memory=False, executor_backend="process")
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_sharded_engine_defaults_to_env_then_one(self, monkeypatch):
+        graph = erdos_renyi(12, 1.5, seed=18)
+        monkeypatch.setenv(SHARD_ENV_VAR, "2")
+        engine = ShardedSPGEngine(graph, executor_backend="serial")
+        assert engine.num_shards == 2
+        engine.close()
+        monkeypatch.delenv(SHARD_ENV_VAR)
+        engine = ShardedSPGEngine(graph, executor_backend="serial")
+        assert engine.num_shards == 1
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segments and the zero-copy view
+# ----------------------------------------------------------------------
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@needs_shm
+class TestSharedGraphSegment:
+    def test_attach_round_trip_equals_graph(self):
+        graph = power_law_cluster(26, 2, seed=19)
+        graph.csr(), graph.csr_reverse()
+        with SharedGraphSegment(graph) as segment:
+            attached = attach_shared_graph(segment.descriptor)
+            view = attached.graph
+            assert isinstance(view, CSRGraphView)
+            assert view == graph
+            assert view.fingerprint() == graph.fingerprint()
+            assert view.num_edges == graph.num_edges
+            assert view.max_degree() == graph.max_degree()
+            assert view.edge_set() == graph.edge_set()
+            for vertex in graph.vertices():
+                assert list(view.out_neighbors(vertex)) == list(graph.out_neighbors(vertex))
+                assert list(view.in_neighbors(vertex)) == list(graph.in_neighbors(vertex))
+                assert view.out_degree(vertex) == graph.out_degree(vertex)
+                assert view.in_degree(vertex) == graph.in_degree(vertex)
+            attached.close()
+
+    def test_view_answers_eve_queries_identically(self):
+        graph = erdos_renyi(28, 2.5, seed=20)
+        with SharedGraphSegment(graph) as segment:
+            attached = attach_shared_graph(segment.descriptor)
+            view = attached.graph
+            for source, target, k in random_reachable_queries(graph, 5, 6, seed=20).as_batch():
+                ours = build_spg(view, source, target, k)
+                reference = build_spg(graph, source, target, k)
+                assert ours.edges == reference.edges
+                assert ours.labels == reference.labels
+            attached.close()
+
+    def test_view_partitions_into_shared_slices(self):
+        graph = erdos_renyi(30, 2.5, seed=21)
+        with SharedGraphSegment(graph) as segment:
+            attached = attach_shared_graph(segment.descriptor)
+            shard_set = partition_graph(attached.graph, 4)
+            whole = backward_distance_map(graph, 7, 5)
+            assert dict(shard_set.backward_distance_map(7, 5).distances.items()) == dict(
+                whole.distances.items()
+            )
+            attached.close()
+
+    def test_unlinked_exactly_once_on_close(self):
+        graph = erdos_renyi(12, 1.5, seed=22)
+        segment = SharedGraphSegment(graph)
+        descriptor = segment.descriptor
+        assert not segment.closed
+        segment.close()
+        assert segment.closed
+        segment.close()  # second close is a no-op, not a double unlink
+        with pytest.raises(FileNotFoundError):
+            attach_shared_graph(descriptor)
+
+    def test_gc_finalizer_unlinks_dropped_segment(self):
+        graph = erdos_renyi(12, 1.5, seed=23)
+        segment = SharedGraphSegment(graph)
+        descriptor = segment.descriptor
+        del segment
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            attach_shared_graph(descriptor)
+
+    def test_view_pickle_round_trip_is_self_contained(self):
+        graph = erdos_renyi(18, 2.0, seed=24)
+        with SharedGraphSegment(graph) as segment:
+            attached = attach_shared_graph(segment.descriptor)
+            clone = pickle.loads(pickle.dumps(attached.graph))
+            attached.close()
+        # The segment is gone; the clone must still answer.
+        assert isinstance(clone, CSRGraphView)
+        assert clone == graph
+        assert clone.fingerprint() == graph.fingerprint()
+
+    def test_view_copy_and_reverse(self):
+        graph = erdos_renyi(16, 2.0, seed=25)
+        with SharedGraphSegment(graph) as segment:
+            attached = attach_shared_graph(segment.descriptor)
+            view = attached.graph
+            clone = view.copy(name="clone")
+            assert clone == graph and clone.fingerprint() == graph.fingerprint()
+            reverse = view.reverse()
+            assert reverse.edge_set() == {(v, u) for (u, v) in graph.edge_set()}
+            materialized = view.materialize()
+            assert type(materialized) is DiGraph and materialized == graph
+            attached.close()
+
+
+@needs_shm
+class TestSharedMemoryServing:
+    def test_plain_engine_workers_attach_zero_copy(self):
+        graph = erdos_renyi(24, 2.5, seed=26)
+        queries = random_reachable_queries(graph, 4, 6, seed=26).as_batch()
+        with SPGEngine(graph, executor_backend="process", max_workers=2) as engine:
+            report = engine.run_batch(queries)
+            assert all(outcome.ok for outcome in report)
+            assert engine._segment is not None and not engine._segment.closed
+            probes = engine._ensure_backend().run([Call(_worker_graph_probe)] * 2)
+            for probe in probes:
+                assert probe["shared"], probe
+                assert probe["graph_type"] == "CSRGraphView"
+                assert probe["fingerprint"] == graph.fingerprint()
+        assert engine._segment is None  # released by close()
+
+    def test_sharded_engine_workers_attach_zero_copy(self):
+        graph = erdos_renyi(24, 2.5, seed=27)
+        queries = random_reachable_queries(graph, 4, 6, seed=27).as_batch()
+        with make_sharded(graph, "process", 4) as engine:
+            report = engine.run_batch(queries)
+            assert all(outcome.ok for outcome in report)
+            probes = engine._ensure_backend().run([Call(_worker_graph_probe)] * 2)
+            assert all(probe["shared"] for probe in probes)
+
+    def test_required_shared_memory_covers_transient_pools(self):
+        # shared_memory=True is a contract: even a per-batch width override
+        # (which checks out a *transient* pool) must attach its workers to
+        # a segment instead of pickling, and must unlink it on close.
+        graph = erdos_renyi(24, 2.5, seed=26)
+        queries = random_reachable_queries(graph, 4, 6, seed=26).as_batch()
+        def live_segments():
+            return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+
+        baseline = live_segments()
+        with SPGEngine(
+            graph, executor_backend="process", max_workers=2, shared_memory=True
+        ) as engine:
+            backend, transient = engine._checkout_backend(1)
+            assert transient
+            try:
+                probes = backend.run([Call(_worker_graph_probe)])
+                assert probes[0]["shared"], probes
+            finally:
+                backend.close()
+            report = engine.run_batch(queries, max_workers=1)
+            assert all(outcome.ok for outcome in report)
+        assert live_segments() <= baseline  # nothing leaked
+
+    def test_shared_memory_false_pickles_instead(self):
+        graph = erdos_renyi(24, 2.5, seed=26)
+        queries = random_reachable_queries(graph, 4, 6, seed=26).as_batch()
+        with SPGEngine(
+            graph, executor_backend="process", max_workers=2, shared_memory=False
+        ) as engine:
+            engine.run_batch(queries)
+            assert engine._segment is None
+            probes = engine._ensure_backend().run([Call(_worker_graph_probe)])
+            assert not probes[0]["shared"]
+            assert probes[0]["graph_type"] == "DiGraph"
+
+    def test_shared_and_pickled_serving_identical(self):
+        graph, queries = random_workload(9)
+        reports = {}
+        for shared in (True, False):
+            with SPGEngine(
+                graph, executor_backend="process", max_workers=2, shared_memory=shared
+            ) as engine:
+                reports[shared] = canonical_report(engine.run_batch(queries))
+        assert reports[True] == reports[False]
+
+    def test_graph_swap_releases_old_segment(self):
+        first_graph = erdos_renyi(20, 2.0, seed=28)
+        second_graph = erdos_renyi(20, 2.0, seed=29)
+        queries = random_reachable_queries(first_graph, 3, 4, seed=28).as_batch()
+        with SPGEngine(first_graph, executor_backend="process", max_workers=2) as engine:
+            engine.run_batch(queries)
+            old_segment = engine._segment
+            engine.set_graph(second_graph)
+            engine.run_batch(queries)
+            assert engine._segment is not old_segment
+            assert old_segment.closed
+            assert not engine._segment.closed
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "async"])
+    def test_in_process_backends_never_build_segments(self, backend):
+        graph, queries = random_workload(10)
+        with SPGEngine(graph, executor_backend=backend, max_workers=2) as engine:
+            engine.run_batch(queries)
+            assert engine._segment is None
+
+
+LEAK_PROBE_SCRIPT = textwrap.dedent(
+    """
+    import gc, os, sys
+
+    from repro.graph.generators import erdos_renyi
+    from repro.queries.workload import random_reachable_queries
+    from repro.service import {engine_cls}
+
+    def main():
+        graph = erdos_renyi(30, 2.5, seed=1)
+        queries = random_reachable_queries(graph, 4, 6, seed=1).as_batch()
+        engine = {engine_cls}(graph, executor_backend="process", max_workers=2{extra})
+        report = engine.run_batch(queries)
+        assert all(outcome.ok for outcome in report), "batch failed"
+        segment = engine._segment
+        assert segment is not None, "no shared segment was created"
+        name = segment.name
+        # Drop the engine WITHOUT close(): the GC finalizer must reap the
+        # pool and unlink the segment exactly once.
+        del engine
+        del segment
+        gc.collect()
+        print("SEGMENT", name, os.path.exists("/dev/shm/" + name.lstrip("/")))
+
+    if __name__ == "__main__":
+        main()
+    """
+)
+
+
+@needs_shm
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm to observe unlink")
+class TestResourceTrackerHygiene:
+    @pytest.mark.parametrize(
+        "engine_cls,extra",
+        [("SPGEngine", ""), ("ShardedSPGEngine", ", num_shards=4")],
+        ids=["plain", "sharded"],
+    )
+    def test_dropped_engine_leaks_no_segment_and_no_warnings(self, engine_cls, extra):
+        script = LEAK_PROBE_SCRIPT.format(engine_cls=engine_cls, extra=extra)
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={**os.environ, "PYTHONPATH": SRC_DIR},
+        )
+        assert completed.returncode == 0, completed.stderr
+        marker = [line for line in completed.stdout.splitlines() if line.startswith("SEGMENT")]
+        assert marker, completed.stdout
+        _, name, still_exists = marker[0].split()
+        assert still_exists == "False", f"segment {name} leaked past the finalizer"
+        # The whole point: no resource_tracker grumbling, no teardown noise.
+        assert "leaked shared_memory" not in completed.stderr, completed.stderr
+        assert "resource_tracker" not in completed.stderr, completed.stderr
+        assert "BufferError" not in completed.stderr, completed.stderr
+        assert "Traceback" not in completed.stderr, completed.stderr
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestShardedCLI:
+    def _run(self, args, stdin_text, env_extra=None):
+        env = {"PYTHONPATH": SRC_DIR}
+        if env_extra:
+            env.update(env_extra)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.service", *args],
+            input=stdin_text,
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+
+    @pytest.mark.parametrize("shards", ["1", "4"])
+    def test_shards_flag_round_trip(self, tmp_path, shards):
+        import json
+
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\nb c\na c\nc d\nb d\n", encoding="utf-8")
+        stdin_text = "a d 3\nb d 2\na d 3\n"
+        baseline = self._run(["--edges", str(edges), "--stats"], stdin_text)
+        sharded = self._run(
+            ["--edges", str(edges), "--shards", shards, "--stats"], stdin_text
+        )
+        assert sharded.returncode == 0, sharded.stderr
+        assert (
+            [json.loads(line)["edges"] for line in sharded.stdout.splitlines()]
+            == [json.loads(line)["edges"] for line in baseline.stdout.splitlines()]
+        )
+        stats = json.loads(sharded.stderr.strip().splitlines()[-1])
+        assert stats["num_shards"] == int(shards)
+        assert sum(stats["shard_routed_groups"].values()) >= 1
+
+    def test_shards_env_var_round_trip(self, tmp_path):
+        import json
+
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\nb c\na c\nc d\n", encoding="utf-8")
+        completed = self._run(
+            ["--edges", str(edges), "--stats"],
+            "a d 3\n",
+            env_extra={SHARD_ENV_VAR: "2"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        stats = json.loads(completed.stderr.strip().splitlines()[-1])
+        assert stats["num_shards"] == 2
+
+    def test_invalid_shards_fails_cleanly(self, tmp_path):
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\n", encoding="utf-8")
+        completed = self._run(["--edges", str(edges), "--shards", "-2"], "a b 1\n")
+        assert completed.returncode == 2
+        assert "invalid engine configuration" in completed.stderr
