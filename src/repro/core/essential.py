@@ -1,4 +1,4 @@
-"""Essential-vertex computation (Section 3 of the paper).
+"""Essential-vertex computation (Section 3) on flat CSR buffers.
 
 Essential vertices ``EV*_l(s, u)`` are the vertices shared by *all* simple
 paths from ``s`` to ``u`` of length at most ``l`` that avoid ``t``
@@ -7,12 +7,45 @@ paths from ``s`` to ``u`` of length at most ``l`` that avoid ``t``
 computation of Algorithm 1: essential vertices flow level by level along
 edges, with set intersection at every merge.
 
-Implementation notes
---------------------
-* **Sparse per-level storage.**  For most vertices the set stabilises after
-  a few levels, so each vertex stores a short list of ``(level, frozenset)``
-  entries; a lookup for level ``l`` returns the entry with the largest level
-  ``<= l`` (the paper's "only store the first one" optimisation).
+Execution backend
+-----------------
+Like the distance kernels of :mod:`repro.core.distances`, propagation now
+runs on the cached flat-array adjacency of
+:meth:`repro.graph.digraph.DiGraph.csr` / ``csr_reverse()`` instead of
+list-of-list neighbour walks, and all per-vertex bookkeeping lives in flat
+arrays indexed by CSR vertex id instead of dicts:
+
+* **EV sets are sorted int tuples.**  An ``EV*_l`` set has at most ``l + 1``
+  elements (it is a subset of any single path of length ``<= l``), so each
+  stored set is a small sorted array of vertex ids.  Sorted storage makes
+  set equality a tuple compare and gives the labelling phase a canonical
+  order to build its intersection bitsets from (see
+  :mod:`repro.core.labeling`).
+* **Per-vertex entries in flat lists.**  ``levels[v]`` / ``sets[v]`` are
+  lists indexed by vertex id (the paper's "only store the first one"
+  sparse-per-level scheme, without the dict around it).
+* **Epoch-stamped level merges.**  The per-level ``updates`` dict of the
+  reference implementation is replaced by an epoch-stamped working-set
+  array: a vertex's in-flight set for the current level is valid iff
+  ``work_stamp[v] == work_epoch``, so starting a new level is one integer
+  increment and no per-level dict is ever built.
+* **Reusable scratch.**  All of the above lives in an
+  :class:`EssentialScratch` that callers (notably the
+  :class:`repro.service.SPGEngine` scratch pool, via
+  :class:`repro.core.eve.QueryScratch`) reuse across queries for zero
+  per-query propagation allocation; when no scratch is passed, a private
+  one is created per call.  Between queries only the entries of the
+  previous query are cleared (O(previously reached)), never the whole
+  buffer.
+
+The previous dict/frozenset implementation is retained verbatim in
+:mod:`repro.core.essential_reference` as the property-test oracle and
+benchmark baseline; the differential harness in
+``tests/test_flat_propagation.py`` holds the two answer-identical on
+randomized graphs across ``k``, prune settings and distance strategies.
+
+Algorithmic notes (shared with the reference implementation)
+------------------------------------------------------------
 * **Inheritance fix.**  Algorithm 1 as printed intersects the level-``l``
   set of a vertex only with contributions arriving from the current
   frontier.  When a vertex already holds a level-``(l-1)`` set and receives
@@ -33,20 +66,104 @@ Implementation notes
   ``y`` is only expanded at level ``l`` when ``l + dist(y, t) <= k``; such
   sets can never help Theorem 3.4 conclude anything, and — because once the
   inequality fails it fails for all larger ``l`` — skipping them can never
-  corrupt a set that *is* needed.
+  corrupt a set that *is* needed.  The distance test reads the
+  :class:`~repro.core.distances.ArrayDistanceMap` buffers directly (one
+  stamp compare + one array read per neighbour) instead of a method call.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+from typing import FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro._types import Vertex
-from repro.core.distances import DistanceIndex
+from repro.core.distances import ArrayDistanceMap, DistanceIndex
 from repro.core.space import SpaceMeter
 from repro.graph.digraph import DiGraph
 
-__all__ = ["EssentialVertexIndex", "propagate_forward", "propagate_backward"]
+__all__ = [
+    "EssentialScratch",
+    "EssentialVertexIndex",
+    "propagate_forward",
+    "propagate_backward",
+]
+
+
+class _EssentialSide:
+    """Reusable flat buffers for one propagation direction.
+
+    ``levels[v]`` / ``sets[v]`` hold the recorded ``(level, sorted tuple)``
+    entries of vertex ``v``; an entry list belongs to the *current* query
+    iff ``entry_stamp[v] == entry_epoch``, so invalidating a whole query is
+    one integer increment (stale lists are lazily cleared on a vertex's
+    first record of the next query, never in bulk).  ``touched`` lists the
+    current query's vertices in first-recorded order.  ``work`` /
+    ``work_stamp`` / ``work_epoch`` implement the same epoch scheme for the
+    per-level merge sets.
+    """
+
+    __slots__ = (
+        "levels",
+        "sets",
+        "touched",
+        "entry_stamp",
+        "entry_epoch",
+        "work",
+        "work_stamp",
+        "work_epoch",
+    )
+
+    def __init__(self) -> None:
+        self.levels: List[List[int]] = []
+        self.sets: List[List[Tuple[Vertex, ...]]] = []
+        self.touched: List[Vertex] = []
+        self.entry_stamp: List[int] = []
+        self.entry_epoch = 0
+        self.work: List[Optional[Set[Vertex]]] = []
+        self.work_stamp: List[int] = []
+        self.work_epoch = 0
+
+    def begin(self, num_vertices: int) -> None:
+        """Start a new propagation: invalidate the previous query, grow to fit.
+
+        Invalidation is the epoch bump; growth (first use, or a larger
+        graph) extends the arrays in place, so steady-state reuse allocates
+        nothing.
+        """
+        self.touched.clear()
+        self.entry_epoch += 1
+        grow = num_vertices - len(self.levels)
+        if grow > 0:
+            for _ in range(grow):
+                self.levels.append([])
+                self.sets.append([])
+            self.entry_stamp.extend([0] * grow)
+            self.work.extend([None] * grow)
+            self.work_stamp.extend([0] * grow)
+
+
+class EssentialScratch:
+    """Reusable flat buffers for one in-flight propagation pair.
+
+    Holds a forward and a backward :class:`_EssentialSide` (one EVE query
+    propagates in both directions).  Like
+    :class:`~repro.core.distances.DistanceScratch`, a scratch must serve at
+    most one query at a time but may be reused for any number of
+    *successive* queries — even across graphs of different sizes (buffers
+    grow on demand) — without allocating.  Indexes built on a scratch are
+    only coherent until the scratch serves its next query.
+    """
+
+    __slots__ = ("forward", "backward")
+
+    def __init__(self) -> None:
+        self.forward = _EssentialSide()
+        self.backward = _EssentialSide()
+
+    @property
+    def capacity(self) -> int:
+        """Number of vertices the buffers currently cover without growing."""
+        return len(self.forward.levels)
 
 
 class EssentialVertexIndex:
@@ -55,74 +172,105 @@ class EssentialVertexIndex:
     The index maps a vertex and a level ``l`` to ``EV*_l`` for that vertex,
     or ``None`` when the set *does not exist* (no simple path of length
     ``<= l`` avoiding the excluded endpoint reaches the vertex).
+
+    Storage is borrowed from an :class:`_EssentialSide`: ``_levels[v]`` is
+    the sorted list of recorded levels of vertex ``v`` and ``_sets[v]`` the
+    parallel list of sorted int tuples, valid only while
+    ``_stamp[v] == _epoch`` (stale entries of an earlier query on the same
+    scratch are lazily cleared, not eagerly wiped).  :meth:`get` /
+    :meth:`latest` return frozensets for API compatibility with the
+    retained reference implementation (and set-algebra-friendly test
+    assertions); the hot labelling path reads the raw tuples through the
+    underscore fields instead.
     """
 
-    def __init__(self, anchor: Vertex, excluded: Vertex, k: int, direction: str) -> None:
+    __slots__ = (
+        "anchor",
+        "excluded",
+        "k",
+        "direction",
+        "_levels",
+        "_sets",
+        "_touched",
+        "_stamp",
+        "_epoch",
+        "_n",
+    )
+
+    def __init__(
+        self,
+        anchor: Vertex,
+        excluded: Vertex,
+        k: int,
+        direction: str,
+        side: "_EssentialSide",
+        num_vertices: int,
+    ) -> None:
         self.anchor = anchor
         self.excluded = excluded
         self.k = k
         self.direction = direction
-        # vertex -> (sorted levels, sets at those levels)
-        self._levels: Dict[Vertex, List[int]] = {}
-        self._sets: Dict[Vertex, List[FrozenSet[Vertex]]] = {}
-        self.record(anchor, 0, frozenset((anchor,)))
+        self._levels = side.levels
+        self._sets = side.sets
+        self._touched = side.touched
+        self._stamp = side.entry_stamp
+        self._epoch = side.entry_epoch
+        self._n = num_vertices
 
     # ------------------------------------------------------------------
-    def record(self, vertex: Vertex, level: int, vertices: FrozenSet[Vertex]) -> None:
-        """Store ``EV_level`` for ``vertex`` (appended; levels must increase)."""
-        levels = self._levels.get(vertex)
-        if levels is None:
-            self._levels[vertex] = [level]
-            self._sets[vertex] = [vertices]
-            return
-        levels.append(level)
-        self._sets[vertex].append(vertices)
-
     def get(self, vertex: Vertex, level: int) -> Optional[FrozenSet[Vertex]]:
         """Return ``EV*_level`` for ``vertex`` or ``None`` if it does not exist."""
-        levels = self._levels.get(vertex)
-        if not levels:
+        if not 0 <= vertex < self._n or self._stamp[vertex] != self._epoch:
             return None
-        position = bisect_right(levels, level)
-        if position == 0:
+        levels = self._levels[vertex]
+        if not levels or levels[0] > level:
             return None
-        return self._sets[vertex][position - 1]
+        return frozenset(self._sets[vertex][bisect_right(levels, level) - 1])
 
     def latest(self, vertex: Vertex) -> Optional[FrozenSet[Vertex]]:
         """Return the most recently stored set for ``vertex`` (any level)."""
-        sets = self._sets.get(vertex)
+        if not 0 <= vertex < self._n or self._stamp[vertex] != self._epoch:
+            return None
+        sets = self._sets[vertex]
         if not sets:
             return None
-        return sets[-1]
+        return frozenset(sets[-1])
 
     def exists(self, vertex: Vertex, level: int) -> bool:
-        """True when ``EV*_level`` exists for ``vertex``."""
-        return self.get(vertex, level) is not None
+        """True when ``EV*_level`` exists for ``vertex`` (no allocation)."""
+        if not 0 <= vertex < self._n or self._stamp[vertex] != self._epoch:
+            return False
+        levels = self._levels[vertex]
+        return bool(levels) and levels[0] <= level
 
     def first_level(self, vertex: Vertex) -> Optional[int]:
         """Smallest level at which the vertex was reached (its distance)."""
-        levels = self._levels.get(vertex)
+        if not 0 <= vertex < self._n or self._stamp[vertex] != self._epoch:
+            return None
+        levels = self._levels[vertex]
         if not levels:
             return None
         return levels[0]
 
     def reached_vertices(self) -> Sequence[Vertex]:
-        """Vertices with at least one stored set."""
-        return list(self._levels.keys())
+        """Vertices with at least one stored set (first-reached order)."""
+        return list(self._touched)
 
     # ------------------------------------------------------------------
     def stored_entries(self) -> int:
         """Number of ``(vertex, level)`` entries stored (space accounting)."""
-        return sum(len(levels) for levels in self._levels.values())
+        levels = self._levels
+        return sum(len(levels[vertex]) for vertex in self._touched)
 
     def stored_items(self) -> int:
         """Total number of vertex ids stored across all sets."""
-        return sum(len(s) for sets in self._sets.values() for s in sets)
+        sets = self._sets
+        return sum(len(s) for vertex in self._touched for s in sets[vertex])
 
     def __repr__(self) -> str:
         return (
             f"EssentialVertexIndex(direction={self.direction!r}, anchor={self.anchor}, "
-            f"vertices={len(self._levels)}, entries={self.stored_entries()})"
+            f"vertices={len(self._touched)}, entries={self.stored_entries()})"
         )
 
 
@@ -136,57 +284,116 @@ def _propagate(
     distance_to_other: Optional[Mapping[Vertex, int]],
     prune: bool,
     space: Optional[SpaceMeter],
+    side: Optional[_EssentialSide],
 ) -> EssentialVertexIndex:
-    """Shared propagation loop for both directions.
+    """Shared propagation loop for both directions (CSR flat-buffer kernel).
 
-    ``reverse=False`` walks out-edges (forward propagation from ``s``);
-    ``reverse=True`` walks in-edges (backward propagation from ``t``).
+    ``reverse=False`` walks the forward CSR (propagation from ``s``);
+    ``reverse=True`` walks the reverse CSR (propagation from ``t``).
     ``distance_to_other`` holds the pruning distances: ``dist(y, t)`` for the
-    forward pass and ``dist(s, y)`` for the backward pass.
+    forward pass and ``dist(s, y)`` for the backward pass.  ``side``
+    supplies reusable buffers; a private one is created when omitted.
     """
-    index = EssentialVertexIndex(anchor, excluded, k, direction)
+    offsets, targets = graph.csr_reverse() if reverse else graph.csr()
+    num_vertices = graph.num_vertices
+    if side is None:
+        side = _EssentialSide()
+    side.begin(num_vertices)
+    levels = side.levels
+    sets = side.sets
+    touched = side.touched
+    entry_stamp = side.entry_stamp
+    entry_epoch = side.entry_epoch
+
+    # begin() just bumped entry_epoch, so the anchor's slot is always stale
+    # here: stamp it and drop whatever an earlier query left behind.
+    anchor_levels = levels[anchor]
+    entry_stamp[anchor] = entry_epoch
+    anchor_levels.clear()
+    sets[anchor].clear()
+    anchor_levels.append(0)
+    sets[anchor].append((anchor,))
+    touched.append(anchor)
+    index = EssentialVertexIndex(anchor, excluded, k, direction, side, num_vertices)
+
+    # Pruning access: raw buffer reads for array-backed maps, ``.get`` for
+    # anything else (e.g. the reference implementation's plain dicts).
+    array_pruning = False
+    distance_get = None
+    if prune and distance_to_other is not None:
+        if isinstance(distance_to_other, ArrayDistanceMap):
+            array_pruning = True
+            other_dist = distance_to_other.dist
+            other_stamp = distance_to_other.stamp
+            other_epoch = distance_to_other.epoch
+        else:
+            distance_get = distance_to_other.get
+
+    work = side.work
+    work_stamp = side.work_stamp
+    category = f"ev-{direction}"
     frontier: List[Vertex] = [anchor]
-    distance_get = (
-        distance_to_other.get if prune and distance_to_other is not None else None
-    )
     for level in range(1, k):
-        updates: Dict[Vertex, set] = {}
+        side.work_epoch += 1
+        epoch = side.work_epoch
+        updated: List[Vertex] = []
         for x in frontier:
-            base = index.latest(x)
-            if base is None:  # pragma: no cover - anchor always recorded
-                continue
-            neighbors = graph.in_neighbors(x) if reverse else graph.out_neighbors(x)
-            for y in neighbors:
+            base = sets[x][-1]
+            for y in targets[offsets[x]:offsets[x + 1]]:
                 if y == anchor or y == excluded:
                     continue
-                if distance_get is not None:
+                if array_pruning:
+                    if other_stamp[y] != other_epoch or level + other_dist[y] > k:
+                        continue
+                elif distance_get is not None:
                     other = distance_get(y)
                     if other is None or level + other > k:
                         continue
-                contribution = updates.get(y)
-                if contribution is None:
-                    fresh = set(base)
-                    fresh.add(y)
-                    updates[y] = fresh
+                if work_stamp[y] != epoch:
+                    work_stamp[y] = epoch
+                    merged = work[y]
+                    if merged is None:
+                        merged = set(base)
+                        work[y] = merged
+                    else:
+                        merged.clear()
+                        merged.update(base)
+                    merged.add(y)
+                    updated.append(y)
                 else:
-                    contribution.intersection_update(base)
-                    contribution.add(y)
-        if not updates:
+                    merged = work[y]
+                    merged.intersection_update(base)
+                    merged.add(y)
+        if not updated:
             break
         next_frontier: List[Vertex] = []
-        for y, new_set in updates.items():
-            previous = index.latest(y)
-            if previous is not None:
-                new_set &= previous
-                new_set.add(y)
-                if new_set == previous:
-                    # Unchanged: downstream sets cannot change through y.
+        for y in updated:
+            merged = work[y]
+            entry_levels = levels[y]
+            if entry_stamp[y] != entry_epoch:
+                # First record for y this query: lazily drop entries left
+                # over from an earlier query on the same scratch.
+                entry_stamp[y] = entry_epoch
+                if entry_levels:
+                    entry_levels.clear()
+                    sets[y].clear()
+            if entry_levels:
+                previous = sets[y][-1]
+                merged.intersection_update(previous)
+                merged.add(y)
+                # ``merged`` ⊆ ``previous`` here (every stored set of ``y``
+                # contains ``y``), so equal sizes means equal sets — and an
+                # unchanged set cannot affect anything downstream.
+                if len(merged) == len(previous):
                     continue
-            frozen = frozenset(new_set)
-            index.record(y, level, frozen)
+            else:
+                touched.append(y)
+            frozen = tuple(sorted(merged))
+            entry_levels.append(level)
+            sets[y].append(frozen)
             next_frontier.append(y)
             if space is not None:
-                space.allocate(len(frozen), category=f"ev-{direction}")
+                space.allocate(len(frozen), category=category)
         frontier = next_frontier
         if not frontier:
             break
@@ -201,8 +408,14 @@ def propagate_forward(
     distances: Optional[DistanceIndex] = None,
     prune: bool = True,
     space: Optional[SpaceMeter] = None,
+    scratch: Optional[EssentialScratch] = None,
 ) -> EssentialVertexIndex:
-    """Forward propagation of ``EV*_l(s, ·)`` for ``1 <= l < k`` (Algorithm 1)."""
+    """Forward propagation of ``EV*_l(s, ·)`` for ``1 <= l < k`` (Algorithm 1).
+
+    ``scratch`` optionally supplies reusable flat buffers (see
+    :class:`EssentialScratch`); the returned index then borrows those
+    buffers and is only coherent until the scratch serves its next query.
+    """
     distance_to_target = distances.to_target if distances is not None else None
     return _propagate(
         graph,
@@ -214,6 +427,7 @@ def propagate_forward(
         distance_to_other=distance_to_target,
         prune=prune,
         space=space,
+        side=scratch.forward if scratch is not None else None,
     )
 
 
@@ -225,8 +439,9 @@ def propagate_backward(
     distances: Optional[DistanceIndex] = None,
     prune: bool = True,
     space: Optional[SpaceMeter] = None,
+    scratch: Optional[EssentialScratch] = None,
 ) -> EssentialVertexIndex:
-    """Backward propagation of ``EV*_l(·, t)`` on the reverse graph."""
+    """Backward propagation of ``EV*_l(·, t)`` on the reverse CSR view."""
     distance_from_source = distances.from_source if distances is not None else None
     return _propagate(
         graph,
@@ -238,4 +453,5 @@ def propagate_backward(
         distance_to_other=distance_from_source,
         prune=prune,
         space=space,
+        side=scratch.backward if scratch is not None else None,
     )

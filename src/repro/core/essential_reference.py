@@ -1,0 +1,256 @@
+"""Retained dict/frozenset reference implementation of Algorithm 1.
+
+This module preserves the original per-level ``(level, frozenset)``
+implementation of essential-vertex propagation exactly as it was before
+:mod:`repro.core.essential` moved to the CSR/flat-buffer kernel.  Like
+:mod:`repro.core.distances_reference`, it exists for two reasons:
+
+* **Correctness oracle.**  The property tests cross-check the flat-buffer
+  propagation against these functions on randomized graphs (every vertex,
+  every level, prune on and off); the refactor is proven answer-identical,
+  not assumed.
+* **Benchmark baseline.**  ``benchmarks/bench_fig11_labeling.py`` times
+  this kernel (together with :mod:`repro.core.labeling_reference`) against
+  the flat path and asserts the speedup that justified the refactor.
+
+Do not use this module on hot paths.
+
+Background: essential vertices ``EV*_l(s, u)`` are the vertices shared by
+*all* simple paths from ``s`` to ``u`` of length at most ``l`` that avoid
+``t`` (Definition 3.1).  Theorem 3.5 shows that intersecting over *all*
+paths (not only simple ones) yields the same sets, which enables the
+propagating computation of Algorithm 1: essential vertices flow level by
+level along edges, with set intersection at every merge.
+
+Implementation notes
+--------------------
+* **Sparse per-level storage.**  For most vertices the set stabilises after
+  a few levels, so each vertex stores a short list of ``(level, frozenset)``
+  entries; a lookup for level ``l`` returns the entry with the largest level
+  ``<= l`` (the paper's "only store the first one" optimisation).
+* **Inheritance fix.**  Algorithm 1 as printed intersects the level-``l``
+  set of a vertex only with contributions arriving from the current
+  frontier.  When a vertex already holds a level-``(l-1)`` set and receives
+  a new contribution at level ``l``, the new set must also be intersected
+  with the inherited value, otherwise essential vertices learned through an
+  earlier (shorter) path are lost and edges can be misclassified.  The
+  incremental recurrence implemented here is::
+
+      EV_l(s, y) = EV_{l-1}(s, y)  ∩  ⋂_{x ∈ frontier ∩ In(y)} (EV_{l-1}(s, x) ∪ {y})
+
+  which equals Equation (4) because the contribution of every in-neighbour
+  that did not change at level ``l-1`` is already folded into
+  ``EV_{l-1}(s, y)`` (see the property tests for an executable proof).
+* **Delta frontiers.**  A vertex joins the next frontier only when its set
+  changed (or it was newly reached); unchanged vertices cannot affect any
+  downstream set, which keeps the propagation close to ``O(k^2 |E|)``.
+* **Forward-looking pruning (Theorem 3.6).**  With ``prune=True`` a vertex
+  ``y`` is only expanded at level ``l`` when ``l + dist(y, t) <= k``; such
+  sets can never help Theorem 3.4 conclude anything, and — because once the
+  inequality fails it fails for all larger ``l`` — skipping them can never
+  corrupt a set that *is* needed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro._types import Vertex
+from repro.core.distances import DistanceIndex
+from repro.core.space import SpaceMeter
+from repro.graph.digraph import DiGraph
+
+__all__ = ["EssentialVertexIndex", "propagate_forward", "propagate_backward"]
+
+
+class EssentialVertexIndex:
+    """Essential-vertex sets for one direction (from ``s`` or to ``t``).
+
+    The index maps a vertex and a level ``l`` to ``EV*_l`` for that vertex,
+    or ``None`` when the set *does not exist* (no simple path of length
+    ``<= l`` avoiding the excluded endpoint reaches the vertex).
+    """
+
+    def __init__(self, anchor: Vertex, excluded: Vertex, k: int, direction: str) -> None:
+        self.anchor = anchor
+        self.excluded = excluded
+        self.k = k
+        self.direction = direction
+        # vertex -> (sorted levels, sets at those levels)
+        self._levels: Dict[Vertex, List[int]] = {}
+        self._sets: Dict[Vertex, List[FrozenSet[Vertex]]] = {}
+        self.record(anchor, 0, frozenset((anchor,)))
+
+    # ------------------------------------------------------------------
+    def record(self, vertex: Vertex, level: int, vertices: FrozenSet[Vertex]) -> None:
+        """Store ``EV_level`` for ``vertex`` (appended; levels must increase)."""
+        levels = self._levels.get(vertex)
+        if levels is None:
+            self._levels[vertex] = [level]
+            self._sets[vertex] = [vertices]
+            return
+        levels.append(level)
+        self._sets[vertex].append(vertices)
+
+    def get(self, vertex: Vertex, level: int) -> Optional[FrozenSet[Vertex]]:
+        """Return ``EV*_level`` for ``vertex`` or ``None`` if it does not exist."""
+        levels = self._levels.get(vertex)
+        if not levels:
+            return None
+        position = bisect_right(levels, level)
+        if position == 0:
+            return None
+        return self._sets[vertex][position - 1]
+
+    def latest(self, vertex: Vertex) -> Optional[FrozenSet[Vertex]]:
+        """Return the most recently stored set for ``vertex`` (any level)."""
+        sets = self._sets.get(vertex)
+        if not sets:
+            return None
+        return sets[-1]
+
+    def exists(self, vertex: Vertex, level: int) -> bool:
+        """True when ``EV*_level`` exists for ``vertex``."""
+        return self.get(vertex, level) is not None
+
+    def first_level(self, vertex: Vertex) -> Optional[int]:
+        """Smallest level at which the vertex was reached (its distance)."""
+        levels = self._levels.get(vertex)
+        if not levels:
+            return None
+        return levels[0]
+
+    def reached_vertices(self) -> Sequence[Vertex]:
+        """Vertices with at least one stored set."""
+        return list(self._levels.keys())
+
+    # ------------------------------------------------------------------
+    def stored_entries(self) -> int:
+        """Number of ``(vertex, level)`` entries stored (space accounting)."""
+        return sum(len(levels) for levels in self._levels.values())
+
+    def stored_items(self) -> int:
+        """Total number of vertex ids stored across all sets."""
+        return sum(len(s) for sets in self._sets.values() for s in sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"EssentialVertexIndex(direction={self.direction!r}, anchor={self.anchor}, "
+            f"vertices={len(self._levels)}, entries={self.stored_entries()})"
+        )
+
+
+def _propagate(
+    graph: DiGraph,
+    anchor: Vertex,
+    excluded: Vertex,
+    k: int,
+    reverse: bool,
+    direction: str,
+    distance_to_other: Optional[Mapping[Vertex, int]],
+    prune: bool,
+    space: Optional[SpaceMeter],
+) -> EssentialVertexIndex:
+    """Shared propagation loop for both directions.
+
+    ``reverse=False`` walks out-edges (forward propagation from ``s``);
+    ``reverse=True`` walks in-edges (backward propagation from ``t``).
+    ``distance_to_other`` holds the pruning distances: ``dist(y, t)`` for the
+    forward pass and ``dist(s, y)`` for the backward pass.
+    """
+    index = EssentialVertexIndex(anchor, excluded, k, direction)
+    frontier: List[Vertex] = [anchor]
+    distance_get = (
+        distance_to_other.get if prune and distance_to_other is not None else None
+    )
+    for level in range(1, k):
+        updates: Dict[Vertex, set] = {}
+        for x in frontier:
+            base = index.latest(x)
+            if base is None:  # pragma: no cover - anchor always recorded
+                continue
+            neighbors = graph.in_neighbors(x) if reverse else graph.out_neighbors(x)
+            for y in neighbors:
+                if y == anchor or y == excluded:
+                    continue
+                if distance_get is not None:
+                    other = distance_get(y)
+                    if other is None or level + other > k:
+                        continue
+                contribution = updates.get(y)
+                if contribution is None:
+                    fresh = set(base)
+                    fresh.add(y)
+                    updates[y] = fresh
+                else:
+                    contribution.intersection_update(base)
+                    contribution.add(y)
+        if not updates:
+            break
+        next_frontier: List[Vertex] = []
+        for y, new_set in updates.items():
+            previous = index.latest(y)
+            if previous is not None:
+                new_set &= previous
+                new_set.add(y)
+                if new_set == previous:
+                    # Unchanged: downstream sets cannot change through y.
+                    continue
+            frozen = frozenset(new_set)
+            index.record(y, level, frozen)
+            next_frontier.append(y)
+            if space is not None:
+                space.allocate(len(frozen), category=f"ev-{direction}")
+        frontier = next_frontier
+        if not frontier:
+            break
+    return index
+
+
+def propagate_forward(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    distances: Optional[DistanceIndex] = None,
+    prune: bool = True,
+    space: Optional[SpaceMeter] = None,
+) -> EssentialVertexIndex:
+    """Forward propagation of ``EV*_l(s, ·)`` for ``1 <= l < k`` (Algorithm 1)."""
+    distance_to_target = distances.to_target if distances is not None else None
+    return _propagate(
+        graph,
+        anchor=source,
+        excluded=target,
+        k=k,
+        reverse=False,
+        direction="forward",
+        distance_to_other=distance_to_target,
+        prune=prune,
+        space=space,
+    )
+
+
+def propagate_backward(
+    graph: DiGraph,
+    source: Vertex,
+    target: Vertex,
+    k: int,
+    distances: Optional[DistanceIndex] = None,
+    prune: bool = True,
+    space: Optional[SpaceMeter] = None,
+) -> EssentialVertexIndex:
+    """Backward propagation of ``EV*_l(·, t)`` on the reverse graph."""
+    distance_from_source = distances.from_source if distances is not None else None
+    return _propagate(
+        graph,
+        anchor=target,
+        excluded=source,
+        k=k,
+        reverse=True,
+        direction="backward",
+        distance_to_other=distance_from_source,
+        prune=prune,
+        space=space,
+    )

@@ -34,7 +34,7 @@ from repro.core.distances import (
     DistanceScratch,
     compute_distance_index,
 )
-from repro.core.essential import propagate_backward, propagate_forward
+from repro.core.essential import EssentialScratch, propagate_backward, propagate_forward
 from repro.core.labeling import compute_upper_bound
 from repro.core.result import PhaseStats, SimplePathGraphResult
 from repro.core.space import SpaceMeter
@@ -42,7 +42,26 @@ from repro.core.verification import order_adjacency, verify_undetermined_edges
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
 
-__all__ = ["EVEConfig", "EVE", "build_spg", "build_upper_bound"]
+__all__ = ["EVEConfig", "EVE", "QueryScratch", "build_spg", "build_upper_bound"]
+
+
+class QueryScratch(DistanceScratch):
+    """Every reusable flat buffer one EVE query needs, in one bundle.
+
+    Extends :class:`~repro.core.distances.DistanceScratch` (so it is
+    accepted anywhere a distance scratch is) with the
+    :class:`~repro.core.essential.EssentialScratch` of the propagation
+    phase.  :class:`repro.service.ScratchPool` pools these, which is what
+    makes *both* the distance and the propagation phase allocation-free on
+    the batch serving path; :meth:`EVE.query` picks the essential side up
+    automatically when handed one.
+    """
+
+    __slots__ = ("essential",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.essential = EssentialScratch()
 
 
 @dataclass(frozen=True)
@@ -111,6 +130,7 @@ class EVE:
         *,
         shared_backward: Optional[BackwardDistanceMap] = None,
         scratch: Optional[DistanceScratch] = None,
+        essential_scratch: Optional[EssentialScratch] = None,
     ) -> SimplePathGraphResult:
         """Return ``SPG_k(source, target)`` (exact unless ``verify=False``).
 
@@ -119,12 +139,18 @@ class EVE:
         :func:`repro.core.distances.backward_distance_map`), letting a batch
         of queries with a common target amortise that phase.  ``scratch``
         optionally supplies reusable distance buffers (see
-        :class:`repro.core.distances.DistanceScratch`) so repeated queries
-        skip per-query allocation; the scratch must not be shared by
-        concurrent queries.  The answer is identical with or without either.
+        :class:`repro.core.distances.DistanceScratch`) and
+        ``essential_scratch`` reusable propagation buffers (see
+        :class:`repro.core.essential.EssentialScratch`) so repeated queries
+        skip per-query allocation; when ``scratch`` is a
+        :class:`QueryScratch` its essential side is used automatically.  A
+        scratch must not be shared by concurrent queries.  The answer is
+        identical with or without any of them.
         """
         self._validate(source, target, k)
         config = self.config
+        if essential_scratch is None:
+            essential_scratch = getattr(scratch, "essential", None)
         space = SpaceMeter()
         phases = PhaseStats()
 
@@ -160,10 +186,12 @@ class EVE:
         forward = propagate_forward(
             self.graph, source, target, k,
             distances=distances, prune=config.forward_looking, space=space,
+            scratch=essential_scratch,
         )
         backward = propagate_backward(
             self.graph, source, target, k,
             distances=distances, prune=config.forward_looking, space=space,
+            scratch=essential_scratch,
         )
         phases.propagation_seconds = time.perf_counter() - started
 

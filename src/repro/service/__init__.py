@@ -18,9 +18,11 @@ serving layer exploits.  This subsystem layers four things on top of
   queries truly in parallel) and ``async`` (awaitable fan-out for event-loop
   callers), all with deterministic result ordering and per-query error
   isolation, all producing identical batch reports;
-* a **scratch pool** (:class:`ScratchPool`) — reusable flat distance/mark
-  buffers for the CSR kernel, so cache misses allocate no per-query
-  distance storage at all (process workers keep one scratch each).
+* a **scratch pool** (:class:`ScratchPool`) — reusable
+  :class:`~repro.core.eve.QueryScratch` bundles (flat distance/mark buffers
+  for the CSR distance kernel plus the essential-propagation entry buffers),
+  so cache misses allocate no per-query distance *or* propagation storage
+  at all (process workers keep one bundle each).
 
 :class:`SPGEngine` ties them together and keeps :class:`EngineStats`
 (hit rate, latency quantiles, queries served, scratch reuse); batches run

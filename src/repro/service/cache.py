@@ -83,9 +83,16 @@ class ResultCache:
     # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups that hit (0.0 before any lookup)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups that hit (0.0 before any lookup).
+
+        Reads both counters under the lock, like :meth:`stats` — two
+        unsynchronised reads could see a hit counted by a concurrent
+        ``get`` whose miss sibling it misses (torn ratio) under the thread
+        backend.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, object]:
         """Return a point-in-time dictionary view of the counters."""
@@ -109,7 +116,13 @@ class ResultCache:
             return key in self._entries
 
     def __repr__(self) -> str:
+        # One consistent snapshot under the lock (``len(self)`` re-acquires
+        # it, so the values are read directly here).
+        with self._lock:
+            entries = len(self._entries)
+            hits = self.hits
+            misses = self.misses
         return (
-            f"ResultCache(entries={len(self)}/{self.max_entries}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"ResultCache(entries={entries}/{self.max_entries}, "
+            f"hits={hits}, misses={misses})"
         )

@@ -22,7 +22,8 @@ cache state, planning, backend or parallelism:
 
 Process-backend mechanics: the engine builds its pool with an initializer
 that installs the (pickled or fork-shared) graph, the config, and one
-reusable :class:`~repro.core.distances.DistanceScratch` per worker; each
+reusable :class:`~repro.core.eve.QueryScratch` (distance + essential
+propagation flat buffers) per worker; each
 planned group then crosses the boundary as a small picklable payload, and
 every payload carries the parent graph's fingerprint so a desynchronised
 worker fails loudly instead of answering against a stale graph.
@@ -49,8 +50,8 @@ from typing import (
 )
 
 from repro._types import Edge, Vertex
-from repro.core.distances import DistanceScratch, backward_distance_map
-from repro.core.eve import EVE, EVEConfig
+from repro.core.distances import backward_distance_map
+from repro.core.eve import EVE, EVEConfig, QueryScratch
 from repro.core.result import SimplePathGraphResult
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
@@ -216,8 +217,10 @@ def _execute_group(
     """Run one planned group sequentially, isolating per-query errors.
 
     ``borrow_scratch`` is a zero-argument context manager factory yielding a
-    :class:`DistanceScratch` for one query (the engine's pool in-process, a
-    worker-local scratch across the process boundary).  Returns
+    :class:`~repro.core.eve.QueryScratch` for one query (the engine's pool
+    in-process, a worker-local scratch across the process boundary), which
+    :meth:`EVE.query` consumes for both its distance and its propagation
+    buffers.  Returns
     ``(plan position, result, exception, latency, reused)`` tuples.  The
     shared backward pass is computed once for groups the planner marked
     ``shared`` — by ``shared_backward_for(target, k)`` when a provider is
@@ -266,7 +269,7 @@ def _execute_group(
 # ----------------------------------------------------------------------
 _worker_graph: Optional[DiGraph] = None
 _worker_config: Optional[EVEConfig] = None
-_worker_scratch: Optional[DistanceScratch] = None
+_worker_scratch: Optional[QueryScratch] = None
 _worker_attached: Optional[AttachedGraphSegment] = None
 _worker_cleanup_registered = False
 
@@ -285,7 +288,7 @@ def _init_process_worker(graph: DiGraph, config: EVEConfig) -> None:
     graph.fingerprint()
     _worker_graph = graph
     _worker_config = config
-    _worker_scratch = DistanceScratch()
+    _worker_scratch = QueryScratch()
 
 
 def _release_worker_state() -> None:

@@ -2,16 +2,22 @@
 
 The CSR distance kernel (:mod:`repro.core.distances`) runs on flat
 ``dist``/``stamp`` buffers bundled in a
-:class:`~repro.core.distances.DistanceScratch`.  Allocating those buffers
-per query would cost O(num_vertices) per cache miss; :class:`ScratchPool`
-keeps them alive between queries instead.  Workers borrow a scratch for the
-duration of one query and return it; the epoch-stamp reset makes reuse
-O(1), so a warmed-up engine answers cache misses without allocating any
-distance or visited-mark storage at all.
+:class:`~repro.core.distances.DistanceScratch`, and the essential-vertex
+propagation kernel (:mod:`repro.core.essential`) runs on the flat
+per-vertex entry/working-set buffers of an
+:class:`~repro.core.essential.EssentialScratch`.  Allocating either per
+query would cost O(num_vertices) per cache miss; :class:`ScratchPool`
+keeps them alive between queries instead, bundled as
+:class:`~repro.core.eve.QueryScratch` objects (a ``DistanceScratch`` that
+also carries the essential side, so one checkout covers every phase).
+Workers borrow a scratch for the duration of one query and return it; the
+epoch-stamp reset makes reuse O(1), so a warmed-up engine answers cache
+misses without allocating any distance, visited-mark or propagation
+bookkeeping storage at all.
 
 The pool is unbounded by design: it can never hold more scratches than the
 peak number of concurrent borrowers (the engine's thread-pool width), so
-memory is bounded by ``max_workers * 2 * num_vertices`` machine ints.
+memory is bounded by ``max_workers * O(num_vertices)`` machine ints.
 """
 
 from __future__ import annotations
@@ -20,26 +26,28 @@ from contextlib import contextmanager
 from threading import Lock
 from typing import Dict, Iterator, List, Optional
 
-from repro.core.distances import DistanceScratch
+from repro.core.eve import QueryScratch
 
 __all__ = ["ScratchPool"]
 
 
 class ScratchPool:
-    """A thread-safe free list of :class:`DistanceScratch` buffers.
+    """A thread-safe free list of :class:`~repro.core.eve.QueryScratch` buffers.
 
     Parameters
     ----------
     stats:
         Optional :class:`repro.service.stats.EngineStats`; every acquire is
-        then recorded as a scratch allocation or reuse, which is how the
-        throughput benchmark asserts the batch path allocates no per-query
-        distance buffers.
+        then recorded as a scratch allocation or reuse — once under the
+        distance counters and once under the propagation counters, since a
+        bundle carries both phases' buffers — which is how the throughput
+        and labelling benchmarks assert the batch path allocates no
+        per-query distance *or* propagation buffers.
     """
 
     def __init__(self, stats: Optional[object] = None) -> None:
         self._lock = Lock()
-        self._free: List[DistanceScratch] = []
+        self._free: List[QueryScratch] = []
         self._stats = stats
         # Local counters are only the source of truth for standalone pools;
         # with an EngineStats attached, every checkout is recorded there
@@ -63,7 +71,7 @@ class ScratchPool:
         return self._local_reuses
 
     # ------------------------------------------------------------------
-    def acquire(self) -> DistanceScratch:
+    def acquire(self) -> QueryScratch:
         """Check out a scratch (reusing a pooled one when available)."""
         record_locally = self._stats is None
         with self._lock:
@@ -73,21 +81,22 @@ class ScratchPool:
                 if record_locally:
                     self._local_reuses += 1
             else:
-                scratch = DistanceScratch()
+                scratch = QueryScratch()
                 reused = False
                 if record_locally:
                     self._local_allocations += 1
         if not record_locally:
             self._stats.record_scratch(reused=reused)
+            self._stats.record_propagation_scratch(reused=reused)
         return scratch
 
-    def release(self, scratch: DistanceScratch) -> None:
+    def release(self, scratch: QueryScratch) -> None:
         """Return a scratch to the pool for the next query."""
         with self._lock:
             self._free.append(scratch)
 
     @contextmanager
-    def borrow(self) -> Iterator[DistanceScratch]:
+    def borrow(self) -> Iterator[QueryScratch]:
         """Context-managed acquire/release around one query execution."""
         scratch = self.acquire()
         try:

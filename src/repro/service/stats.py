@@ -84,6 +84,8 @@ class EngineStats:
         self.sharded_backward_passes = 0
         self.scratch_allocations = 0
         self.scratch_reuses = 0
+        self.propagation_scratch_allocations = 0
+        self.propagation_scratch_reuses = 0
 
     # ------------------------------------------------------------------
     def record_query(
@@ -145,6 +147,25 @@ class EngineStats:
             else:
                 self.scratch_allocations += 1
 
+    def record_propagation_scratch(self, *, reused: bool) -> None:
+        """Record one essential-propagation scratch checkout.
+
+        The propagation twin of :meth:`record_scratch`: since the pool
+        hands out :class:`repro.core.eve.QueryScratch` bundles, every
+        in-process query checks out exactly one set of propagation buffers
+        alongside its distance buffers, and ``propagation_scratch_allocations``
+        stays bounded by the peak number of concurrent workers — the "zero
+        per-query propagation allocation" property the labelling kernel
+        benchmark asserts.  Counted separately so the distance and
+        propagation claims remain individually assertable (and would
+        diverge if the pooling of the two ever split).
+        """
+        with self._lock:
+            if reused:
+                self.propagation_scratch_reuses += 1
+            else:
+                self.propagation_scratch_allocations += 1
+
     # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
@@ -173,6 +194,8 @@ class EngineStats:
                 "sharded_backward_passes": self.sharded_backward_passes,
                 "scratch_allocations": self.scratch_allocations,
                 "scratch_reuses": self.scratch_reuses,
+                "propagation_scratch_allocations": self.propagation_scratch_allocations,
+                "propagation_scratch_reuses": self.propagation_scratch_reuses,
                 "p50_ms": self._latencies.quantile(0.50) * 1000.0,
                 "p95_ms": self._latencies.quantile(0.95) * 1000.0,
                 "p99_ms": self._latencies.quantile(0.99) * 1000.0,
@@ -192,6 +215,8 @@ class EngineStats:
             self.sharded_backward_passes = 0
             self.scratch_allocations = 0
             self.scratch_reuses = 0
+            self.propagation_scratch_allocations = 0
+            self.propagation_scratch_reuses = 0
 
     def __repr__(self) -> str:
         return (

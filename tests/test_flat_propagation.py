@@ -1,0 +1,516 @@
+"""Differential harness for the flat-buffer propagation + labelling path.
+
+The CSR/flat-array rewrite of :mod:`repro.core.essential` and
+:mod:`repro.core.labeling` is held answer-identical to the retained
+dict/frozenset oracles (:mod:`repro.core.essential_reference`,
+:mod:`repro.core.labeling_reference`) the same way the distance kernels are
+held to :mod:`repro.core.distances_reference`: every vertex, every level,
+every label, every boundary list, on randomized graphs across ``k``,
+pruning on/off and all three distance strategies — with and without a
+reused :class:`~repro.core.essential.EssentialScratch`.
+
+This file also carries the regression tests for the bug hunt that preceded
+the refactor:
+
+* the small-``k`` labelling hole (``label_edge``'s split loop is empty for
+  ``k <= 4``) is proven vacuous by cross-checking the upper bound against
+  full path enumeration at ``k in {2, 3, 4}`` and asserting no
+  ``UNDETERMINED`` label can ever be produced there;
+* the nondeterministic ``collect_boundaries`` truncation (the ``k - 2``
+  cap used to keep whichever neighbours iteration order yielded first) is
+  pinned to the sorted-order semantics under adversarial adjacency
+  orderings and across whole-graph vs sharded engines;
+* the ``ResultCache`` counter reads that ignored the lock are hammered
+  from threads;
+* scratch reuse: epoch invalidation across successive queries, buffer
+  growth across graphs, and the pooled-bundle counters in
+  :class:`~repro.service.stats.EngineStats`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import (
+    distances,
+    distances_reference,
+    essential,
+    essential_reference,
+    labeling,
+    labeling_reference,
+)
+from repro.core.distances import DISTANCE_STRATEGIES
+from repro.core.essential import EssentialScratch
+from repro.core.eve import EVE, EVEConfig, QueryScratch, build_spg
+from repro.core.result import EdgeLabel
+from repro.core.verification import verify_undetermined_edges
+from repro.enumeration import EnumerationSPGBuilder, PathEnum
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.service import SPGEngine
+from repro.service.cache import ResultCache, make_cache_key
+from repro.service.shard import ShardedSPGEngine
+
+
+def random_graph(seed: int, num_vertices: int = 14, degree: float = 2.2) -> DiGraph:
+    return erdos_renyi(num_vertices, degree, seed=seed, name=f"flat-{seed}")
+
+
+def random_query(graph: DiGraph, seed: int):
+    rng = random.Random(seed)
+    return rng.sample(range(graph.num_vertices), 2)
+
+
+def reference_pipeline(graph, s, t, k, prune=True, strategy="adaptive"):
+    """The pre-refactor pipeline, end to end, on the retained oracles."""
+    index = distances_reference.compute_distance_index(graph, s, t, k, strategy)
+    forward = essential_reference.propagate_forward(
+        graph, s, t, k, distances=index, prune=prune
+    )
+    backward = essential_reference.propagate_backward(
+        graph, s, t, k, distances=index, prune=prune
+    )
+    upper = labeling_reference.compute_upper_bound(
+        graph, s, t, k, index, forward, backward
+    )
+    return index, forward, backward, upper
+
+
+def flat_pipeline(graph, s, t, k, prune=True, strategy="adaptive", scratch=None):
+    """The flat-buffer pipeline with an optionally reused scratch bundle."""
+    index = distances.compute_distance_index(
+        graph, s, t, k, strategy, scratch=scratch
+    )
+    ess = scratch.essential if scratch is not None else None
+    forward = essential.propagate_forward(
+        graph, s, t, k, distances=index, prune=prune, scratch=ess
+    )
+    backward = essential.propagate_backward(
+        graph, s, t, k, distances=index, prune=prune, scratch=ess
+    )
+    upper = labeling.compute_upper_bound(graph, s, t, k, index, forward, backward)
+    return index, forward, backward, upper
+
+
+def assert_indexes_match(graph, got, want, k, context):
+    for vertex in graph.vertices():
+        for level in range(0, k):
+            assert got.get(vertex, level) == want.get(vertex, level), (
+                *context,
+                vertex,
+                level,
+            )
+
+
+def assert_uppers_match(got, want, context):
+    assert got.labels == want.labels, context
+    assert got.definite_edges == want.definite_edges, context
+    assert got.undetermined_edges == want.undetermined_edges, context
+    assert set(got.out_adjacency) == set(want.out_adjacency), context
+    for vertex, neighbors in got.out_adjacency.items():
+        assert sorted(neighbors) == sorted(want.out_adjacency[vertex]), context
+    assert got.departures == want.departures, context
+    assert got.arrivals == want.arrivals, context
+
+
+# ----------------------------------------------------------------------
+# The differential harness
+# ----------------------------------------------------------------------
+class TestFlatMatchesReference:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 7, 8])
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_propagation_labeling_and_answer(self, seed, k, prune):
+        """One shared scratch across every (seed, k, prune) cell — reuse and
+        correctness are exercised by the same sweep."""
+        graph = random_graph(seed)
+        s, t = random_query(graph, seed * 31 + k)
+        scratch = QueryScratch()
+        _, fwd, bwd, upper = flat_pipeline(graph, s, t, k, prune=prune, scratch=scratch)
+        _, fwd_ref, bwd_ref, upper_ref = reference_pipeline(graph, s, t, k, prune=prune)
+        context = (seed, s, t, k, prune)
+        assert_indexes_match(graph, fwd, fwd_ref, k, context)
+        assert_indexes_match(graph, bwd, bwd_ref, k, context)
+        assert_uppers_match(upper, upper_ref, context)
+        assert verify_undetermined_edges(upper) == verify_undetermined_edges(upper_ref)
+
+    @pytest.mark.parametrize("strategy", DISTANCE_STRATEGIES)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_distance_strategies(self, strategy, seed):
+        graph = random_graph(seed, num_vertices=18, degree=2.6)
+        s, t = random_query(graph, seed + 100)
+        k = 6
+        scratch = QueryScratch()
+        _, fwd, bwd, upper = flat_pipeline(graph, s, t, k, strategy=strategy, scratch=scratch)
+        _, fwd_ref, bwd_ref, upper_ref = reference_pipeline(graph, s, t, k, strategy=strategy)
+        context = (strategy, seed, s, t)
+        assert_indexes_match(graph, fwd, fwd_ref, k, context)
+        assert_indexes_match(graph, bwd, bwd_ref, k, context)
+        assert_uppers_match(upper, upper_ref, context)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_end_to_end_eve_matches_reference_pipeline(self, seed):
+        """EVE (flat path + verification) equals oracle pipeline + verification."""
+        graph = random_graph(seed, num_vertices=16, degree=2.4)
+        s, t = random_query(graph, seed + 50)
+        for k in (4, 5, 6, 7):
+            result = build_spg(graph, s, t, k)
+            if result.upper_bound_edges:
+                _, _, _, upper_ref = reference_pipeline(graph, s, t, k)
+                assert result.edges == verify_undetermined_edges(upper_ref), (seed, k)
+            assert result.exact
+
+    def test_index_api_compat_on_figure1(self, figure1):
+        """The flat index honours the reference index API contract."""
+        graph, builder = figure1
+        s, t = builder.vertex_id("s"), builder.vertex_id("t")
+        flat = essential.propagate_forward(graph, s, t, 7, prune=False)
+        ref = essential_reference.propagate_forward(graph, s, t, 7, prune=False)
+        assert sorted(flat.reached_vertices()) == sorted(ref.reached_vertices())
+        assert flat.stored_entries() == ref.stored_entries()
+        assert flat.stored_items() == ref.stored_items()
+        for vertex in graph.vertices():
+            assert flat.first_level(vertex) == ref.first_level(vertex)
+            assert flat.latest(vertex) == ref.latest(vertex)
+            for level in range(7):
+                assert flat.exists(vertex, level) == ref.exists(vertex, level)
+        assert "forward" in repr(flat)
+
+    def test_generic_fallback_accepts_reference_indexes(self):
+        """labeling.compute_upper_bound also serves oracle-index callers."""
+        graph = random_graph(3)
+        s, t = 0, graph.num_vertices - 1
+        k = 6
+        index = distances.compute_distance_index(graph, s, t, k)
+        fwd_ref = essential_reference.propagate_forward(graph, s, t, k, distances=index)
+        bwd_ref = essential_reference.propagate_backward(graph, s, t, k, distances=index)
+        via_fallback = labeling.compute_upper_bound(graph, s, t, k, index, fwd_ref, bwd_ref)
+        fwd = essential.propagate_forward(graph, s, t, k, distances=index)
+        bwd = essential.propagate_backward(graph, s, t, k, distances=index)
+        via_flat = labeling.compute_upper_bound(graph, s, t, k, index, fwd, bwd)
+        assert_uppers_match(via_flat, via_fallback, (s, t, k))
+
+
+# ----------------------------------------------------------------------
+# Small-k labelling: the vacuous split loop, proven against enumeration
+# ----------------------------------------------------------------------
+class TestSmallKLabeling:
+    """``label_edge``'s split loop (``range(2, k - 2)``) is empty for
+    ``k <= 4``.  That is vacuously *complete*, not a hole: every split of
+    the ``k - 1`` interior hops with ``k_f >= 2`` and ``k_b >= 2`` needs
+    ``k >= 5``, and the ``k_f <= 1`` / ``k_b <= 1`` splits are each settled
+    conclusively by the Lemma 4.4/4.6 checks (DEFINITE, or impossible).
+    These tests keep that argument honest against full enumeration.
+    """
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_upper_bound_equals_enumeration(self, seed, k):
+        graph = random_graph(seed, num_vertices=11, degree=2.4)
+        s, t = random_query(graph, seed * 13 + k)
+        oracle = EnumerationSPGBuilder(graph, PathEnum)
+        exact = oracle.query(s, t, k).edges
+        _, _, _, upper = flat_pipeline(graph, s, t, k)
+        assert upper.edges == exact, (seed, s, t, k)
+        # ... and EVE end to end (with and without verification) agrees.
+        assert build_spg(graph, s, t, k).edges == exact
+        assert (
+            build_spg(graph, s, t, k, EVEConfig(verify=False)).edges == exact
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_no_undetermined_labels_at_small_k(self, seed, k):
+        """For k <= 4 every candidate edge resolves to DEFINITE or FAILING;
+        an UNDETERMINED label would be silently dropped by the verification
+        phase's ``k < 5`` early-out, so none may ever be produced."""
+        graph = random_graph(seed, num_vertices=12, degree=2.6)
+        s, t = random_query(graph, seed + 7)
+        _, _, _, upper = flat_pipeline(graph, s, t, k)
+        assert not upper.undetermined_edges, (seed, s, t, k)
+        assert all(
+            label is not EdgeLabel.UNDETERMINED for label in upper.labels.values()
+        )
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_label_edge_spec_agrees_with_fused_pass(self, k):
+        """The per-edge specification and the fused kernel agree at small k."""
+        graph = random_graph(21, num_vertices=12, degree=2.6)
+        s, t = 0, 11
+        index = distances.compute_distance_index(graph, s, t, k)
+        fwd = essential.propagate_forward(graph, s, t, k, distances=index)
+        bwd = essential.propagate_backward(graph, s, t, k, distances=index)
+        upper = labeling.compute_upper_bound(graph, s, t, k, index, fwd, bwd)
+        for (u, v), label in upper.labels.items():
+            assert labeling.label_edge(u, v, s, t, k, fwd, bwd) is label
+
+
+# ----------------------------------------------------------------------
+# Deterministic boundary truncation
+# ----------------------------------------------------------------------
+class TestDeterministicBoundaries:
+    def _upper_with_order(self, order):
+        """A k=3 upper bound whose adjacency lists follow ``order``.
+
+        Star: s -> {x1..x5} -> v -> t, so v is a departure with five valid
+        in-neighbours and the k - 2 = 1 cap must truncate.
+        """
+        s, t, v = 0, 7, 6
+        xs = [1, 2, 3, 4, 5]
+        upper = labeling.UpperBoundGraph(source=s, target=t, k=3)
+        for x in order:
+            upper.definite_edges.add((s, x))
+            upper.out_adjacency.setdefault(s, []).append(x)
+            upper.in_adjacency.setdefault(x, []).append(s)
+        for x in order:
+            upper.definite_edges.add((x, v))
+            upper.out_adjacency.setdefault(x, []).append(v)
+            upper.in_adjacency.setdefault(v, []).append(x)
+        upper.definite_edges.add((v, t))
+        upper.out_adjacency.setdefault(v, []).append(t)
+        upper.in_adjacency.setdefault(t, []).append(v)
+        assert sorted(order) == xs
+        return upper, v
+
+    def test_truncation_is_iteration_order_independent(self):
+        """The retained neighbours are the smallest ids, whatever order the
+        adjacency lists were built in (dict-, CSR- or shard-order)."""
+        results = []
+        for seed in range(6):
+            order = [1, 2, 3, 4, 5]
+            random.Random(seed).shuffle(order)
+            upper, v = self._upper_with_order(order)
+            labeling.collect_boundaries(upper)
+            results.append((dict(upper.departures), dict(upper.arrivals)))
+        first = results[0]
+        assert all(result == first for result in results[1:])
+        # k - 2 == 1 neighbour retained, and it is the smallest id.
+        assert first[0] == {6: [1]}
+
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_flat_and_reference_boundaries_agree_under_shuffle(self, k):
+        """collect_boundaries is a pure function of the upper-bound edge set."""
+        graph = random_graph(17, num_vertices=16, degree=2.8)
+        s, t = 0, 15
+        _, _, _, upper = flat_pipeline(graph, s, t, k)
+        shuffled = labeling.UpperBoundGraph(
+            source=s,
+            target=t,
+            k=k,
+            definite_edges=set(upper.definite_edges),
+            undetermined_edges=set(upper.undetermined_edges),
+            out_adjacency={u: list(vs) for u, vs in upper.out_adjacency.items()},
+            in_adjacency={u: list(vs) for u, vs in upper.in_adjacency.items()},
+        )
+        rng = random.Random(5)
+        for neighbors in shuffled.out_adjacency.values():
+            rng.shuffle(neighbors)
+        for neighbors in shuffled.in_adjacency.values():
+            rng.shuffle(neighbors)
+        labeling.collect_boundaries(shuffled)
+        assert shuffled.departures == upper.departures
+        assert shuffled.arrivals == upper.arrivals
+
+    def test_whole_vs_sharded_reports_identical(self):
+        """Regression for the nondeterministic truncation: a sharded engine
+        (CSR/shard iteration orders) must match the whole-graph engine
+        report-for-report, including on k where truncation bites."""
+        graph = erdos_renyi(60, 3.0, seed=9, name="boundary-shards")
+        rng = random.Random(9)
+        queries = [
+            (*rng.sample(range(graph.num_vertices), 2), k)
+            for k in (3, 4, 5, 6, 7)
+            for _ in range(4)
+        ]
+        with SPGEngine(graph, executor_backend="serial") as whole, ShardedSPGEngine(
+            graph, num_shards=3, executor_backend="serial"
+        ) as sharded:
+            whole_report = whole.run_batch(queries)
+            sharded_report = sharded.run_batch(queries)
+        for a, b in zip(whole_report.outcomes, sharded_report.outcomes):
+            assert (a.source, a.target, a.k, a.error is None) == (
+                b.source,
+                b.target,
+                b.k,
+                b.error is None,
+            )
+            assert a.edges == b.edges
+
+
+# ----------------------------------------------------------------------
+# Scratch reuse and epoch invalidation
+# ----------------------------------------------------------------------
+class TestEssentialScratch:
+    def test_epoch_invalidation_across_queries(self):
+        """A reused scratch must not leak entries of the previous query."""
+        chain = DiGraph.from_edge_list([(0, 1), (1, 2), (2, 3), (3, 4)])
+        dense = random_graph(2, num_vertices=12, degree=3.0)
+        scratch = EssentialScratch()
+        # Query 1 reaches far down the chain ...
+        first = essential.propagate_forward(chain, 0, 4, 4, prune=False, scratch=scratch)
+        assert first.exists(3, 3)
+        # ... query 2 on the same scratch reaches almost nothing; stale
+        # entries from query 1 must be invisible.
+        second = essential.propagate_forward(
+            DiGraph.from_edge_list([(0, 1)], num_vertices=5), 0, 4, 4,
+            prune=False, scratch=scratch,
+        )
+        assert second.get(1, 1) == frozenset({0, 1})
+        for vertex in (2, 3):
+            assert second.get(vertex, 3) is None
+            assert not second.exists(vertex, 3)
+            assert second.first_level(vertex) is None
+        assert sorted(second.reached_vertices()) == [0, 1]
+        # And a third, denser query is still oracle-identical.
+        s, t = 0, 11
+        third = essential.propagate_forward(dense, s, t, 6, prune=False, scratch=scratch)
+        want = essential_reference.propagate_forward(dense, s, t, 6, prune=False)
+        for vertex in dense.vertices():
+            for level in range(6):
+                assert third.get(vertex, level) == want.get(vertex, level)
+
+    def test_scratch_grows_across_graphs(self):
+        small = DiGraph.from_edge_list([(0, 1), (1, 2)])
+        big = random_graph(4, num_vertices=80, degree=2.0)
+        scratch = EssentialScratch()
+        essential.propagate_forward(small, 0, 2, 3, scratch=scratch)
+        assert scratch.capacity == 3
+        index = essential.propagate_forward(big, 0, 79, 5, prune=False, scratch=scratch)
+        assert scratch.capacity == 80
+        want = essential_reference.propagate_forward(big, 0, 79, 5, prune=False)
+        for vertex in big.vertices():
+            for level in range(5):
+                assert index.get(vertex, level) == want.get(vertex, level)
+
+    def test_forward_and_backward_sides_are_independent(self):
+        graph = random_graph(6, num_vertices=14, degree=2.5)
+        s, t = 0, 13
+        scratch = EssentialScratch()
+        fwd = essential.propagate_forward(graph, s, t, 5, scratch=scratch)
+        bwd = essential.propagate_backward(graph, s, t, 5, scratch=scratch)
+        # Both indexes stay coherent simultaneously (separate sides).
+        fwd_ref = essential_reference.propagate_forward(graph, s, t, 5)
+        bwd_ref = essential_reference.propagate_backward(graph, s, t, 5)
+        for vertex in graph.vertices():
+            for level in range(5):
+                assert fwd.get(vertex, level) == fwd_ref.get(vertex, level)
+                assert bwd.get(vertex, level) == bwd_ref.get(vertex, level)
+
+    def test_eve_reuses_query_scratch_bundle(self):
+        graph = random_graph(8, num_vertices=30, degree=2.2)
+        scratch = QueryScratch()
+        engine = EVE(graph)
+        for s, t, k in [(0, 29, 5), (3, 11, 6), (0, 29, 5), (1, 17, 7)]:
+            with_scratch = engine.query(s, t, k, scratch=scratch)
+            cold = build_spg(graph, s, t, k)
+            assert with_scratch.edges == cold.edges
+        assert scratch.essential.capacity == graph.num_vertices
+
+
+# ----------------------------------------------------------------------
+# Serving-layer integration: pooled bundles + new counters
+# ----------------------------------------------------------------------
+class TestPooledPropagationScratch:
+    def test_batch_counts_propagation_scratch(self):
+        graph = random_graph(5, num_vertices=40, degree=2.0)
+        engine = SPGEngine(graph, cache_size=0, max_workers=1)
+        queries = [(s, 39, 4) for s in range(8)] + [(1, 20, 5), (2, 21, 5)]
+        report = engine.run_batch(queries)
+        assert report.num_ok == len(queries)
+        stats = engine.stats_snapshot()
+        # One bundle checkout per computed query covers both phases ...
+        assert (
+            stats["propagation_scratch_allocations"]
+            + stats["propagation_scratch_reuses"]
+            == stats["cache_misses"]
+        )
+        # ... and with one worker a single allocation serves the whole batch:
+        # zero per-query propagation allocation.
+        assert stats["propagation_scratch_allocations"] == 1
+        assert stats["propagation_scratch_reuses"] == len(queries) - 1
+        assert stats["scratch_allocations"] == stats["propagation_scratch_allocations"]
+
+    def test_stats_reset_clears_propagation_counters(self):
+        graph = random_graph(5, num_vertices=20, degree=2.0)
+        engine = SPGEngine(graph, cache_size=0, max_workers=1)
+        engine.run_batch([(0, 19, 4), (1, 19, 4)])
+        assert engine.stats.propagation_scratch_allocations == 1
+        engine.stats.reset()
+        assert engine.stats.propagation_scratch_allocations == 0
+        assert engine.stats.propagation_scratch_reuses == 0
+
+    def test_sharded_engine_pools_bundles_too(self):
+        graph = erdos_renyi(50, 2.5, seed=3, name="sharded-scratch")
+        with ShardedSPGEngine(
+            graph, num_shards=2, cache_size=0, max_workers=1,
+            executor_backend="serial",
+        ) as engine:
+            report = engine.run_batch([(s, 49, 4) for s in range(6)])
+            assert report.num_ok == 6
+            stats = engine.stats_snapshot()
+            assert stats["propagation_scratch_allocations"] == 1
+            assert stats["propagation_scratch_reuses"] == 5
+
+    def test_pool_hands_out_query_scratch(self):
+        from repro.service import ScratchPool
+
+        pool = ScratchPool()
+        with pool.borrow() as scratch:
+            assert isinstance(scratch, QueryScratch)
+            assert isinstance(scratch.essential, EssentialScratch)
+
+
+# ----------------------------------------------------------------------
+# ResultCache locking
+# ----------------------------------------------------------------------
+class TestResultCacheLocking:
+    def test_hit_rate_and_repr_values(self):
+        cache = ResultCache(max_entries=4)
+        config = EVEConfig()
+        key = make_cache_key(0, 1, 3, config, "fp")
+        assert cache.hit_rate == 0.0
+        assert cache.get(key) is None
+        cache.put(key, object())
+        assert cache.get(key) is not None
+        assert cache.hit_rate == 0.5
+        assert "hits=1" in repr(cache) and "misses=1" in repr(cache)
+
+    def test_counter_reads_race_free_under_hammering(self):
+        """hit_rate/__repr__ take the lock; hammer them against get/put."""
+        cache = ResultCache(max_entries=32)
+        config = EVEConfig()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    rate = cache.hit_rate
+                    assert 0.0 <= rate <= 1.0
+                    repr(cache)
+                    cache.stats()
+                except Exception as exc:  # pragma: no cover - the assertion
+                    errors.append(exc)
+                    return
+
+        def writer(offset):
+            for i in range(600):
+                key = make_cache_key(offset, i % 40, 3, config, "fp")
+                if cache.get(key) is None:
+                    cache.put(key, (offset, i))
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer, args=(n,)) for n in range(3)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] > 0
