@@ -1,0 +1,254 @@
+"""Persisted performance trajectory: schema-versioned ``BENCH_<pr>.json``.
+
+ROADMAP's standing complaint is that every PR's performance claims lived in
+transient benchmark output — nothing comparable was ever persisted, so the
+repo has no answer to "did PR N+1 regress what PR N measured?".  This
+module fixes the persistence half: one small, schema-versioned JSON
+snapshot per PR, committed at the repo root as ``BENCH_<pr>.json`` and
+validated by CI, holding
+
+* **kernel** entries — best-of-``repeats`` wall time of the two hot
+  kernels the benchmark suite tracks (the CSR distance-index build and the
+  halo-free whole-graph backward BFS);
+* **phase** entries — per-EVE-phase latency aggregates (p50 and cumulative
+  seconds per :data:`repro.core.result.PHASE_NAMES` entry) from a served
+  workload, read straight out of :class:`repro.service.stats.EngineStats`;
+* **serving** entries — end-to-end throughput and latency quantiles of the
+  same workload.
+
+``python -m repro.bench snapshot --pr N`` collects and writes one;
+``python -m repro.bench check --pr N`` validates the committed file (CI
+fails when the snapshot is missing or schema-invalid).  Snapshots are
+measurements of *this machine at this commit* — the trajectory is for
+eyeballing trends and catching absent/broken snapshots, not a
+pass/fail latency gate (CI runners are too noisy for that).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ENTRY_KINDS",
+    "snapshot_filename",
+    "collect_snapshot",
+    "validate_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+SCHEMA_VERSION = 1
+
+#: Every entry names which layer it measures.
+ENTRY_KINDS = ("kernel", "phase", "serving")
+
+_REQUIRED_ENTRY_FIELDS = ("name", "kind", "value", "unit")
+
+
+def snapshot_filename(pr: int) -> str:
+    """The canonical repo-root filename for PR ``pr``'s snapshot."""
+    return f"BENCH_{int(pr)}.json"
+
+
+def _entry(name: str, kind: str, value: float, unit: str) -> Dict[str, object]:
+    return {"name": name, "kind": kind, "value": float(value), "unit": unit}
+
+
+def collect_snapshot(
+    pr: int,
+    *,
+    scale: str = "tiny",
+    num_vertices: Optional[int] = None,
+    num_queries: Optional[int] = None,
+    seed: int = 20230901,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Measure one performance snapshot on this machine.
+
+    ``scale`` picks the workload size (``tiny`` for CI, ``small`` for a
+    workstation); ``num_vertices`` / ``num_queries`` override it.  The
+    graph, queries and kernels are seeded, so two runs on one machine
+    measure the same work.
+    """
+    import random
+
+    from repro.core.distances import backward_distance_map, compute_distance_index
+    from repro.core.eve import QueryScratch
+    from repro.graph.generators import erdos_renyi
+    from repro.service.engine import SPGEngine
+
+    sizes = {"tiny": (1_500, 120), "small": (12_000, 400)}
+    if scale not in sizes:
+        raise ValueError(f"unknown snapshot scale {scale!r}; expected one of {sorted(sizes)}")
+    default_vertices, default_queries = sizes[scale]
+    n = num_vertices or default_vertices
+    q = num_queries or default_queries
+
+    graph = erdos_renyi(n, 4.0, seed=seed)
+    rng = random.Random(seed)
+    queries = []
+    while len(queries) < q:
+        source, target = rng.randrange(n), rng.randrange(n)
+        if source != target:
+            queries.append((source, target, rng.choice((4, 6, 8))))
+
+    entries: List[Dict[str, object]] = []
+
+    # Kernel micro-measurements: best-of-``repeats`` total wall time over
+    # the workload, mirroring benchmarks/bench_fig10b_distance.py.
+    scratch = QueryScratch()
+    kernel_queries = queries[: max(1, min(len(queries), 50))]
+    best_distance = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for source, target, k in kernel_queries:
+            compute_distance_index(
+                graph, source, target, k, strategy="adaptive", scratch=scratch
+            )
+        best_distance = min(best_distance, time.perf_counter() - started)
+    entries.append(
+        _entry(
+            "kernel.distance_index.best_ms_per_query",
+            "kernel",
+            best_distance * 1000.0 / len(kernel_queries),
+            "ms",
+        )
+    )
+    backward_targets = sorted({(target, k) for _, target, k in kernel_queries})[:20]
+    best_backward = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for target, k in backward_targets:
+            backward_distance_map(graph, target, k)
+        best_backward = min(best_backward, time.perf_counter() - started)
+    entries.append(
+        _entry(
+            "kernel.backward_bfs.best_ms_per_pass",
+            "kernel",
+            best_backward * 1000.0 / len(backward_targets),
+            "ms",
+        )
+    )
+
+    # Served workload: phase and serving aggregates from EngineStats.
+    with SPGEngine(graph, cache_size=0, executor_backend="serial") as engine:
+        batch_started = time.perf_counter()
+        report = engine.run_batch(queries)
+        batch_seconds = time.perf_counter() - batch_started
+        snapshot = engine.stats.snapshot()
+
+    for phase, aggregates in sorted(snapshot["phases"].items()):
+        entries.append(
+            _entry(f"phase.{phase}.p50_ms", "phase", aggregates["p50_ms"], "ms")
+        )
+        entries.append(
+            _entry(
+                f"phase.{phase}.total_seconds",
+                "phase",
+                aggregates["total_seconds"],
+                "s",
+            )
+        )
+    entries.append(
+        _entry("serving.throughput_qps", "serving", len(report) / batch_seconds, "qps")
+    )
+    entries.append(_entry("serving.p50_ms", "serving", snapshot["p50_ms"], "ms"))
+    entries.append(_entry("serving.p95_ms", "serving", snapshot["p95_ms"], "ms"))
+
+    data = {
+        "schema_version": SCHEMA_VERSION,
+        "pr": int(pr),
+        "scale": scale,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": {
+            "num_vertices": n,
+            "num_queries": len(queries),
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "entries": entries,
+    }
+    validate_snapshot(data)
+    return data
+
+
+def validate_snapshot(data: object) -> None:
+    """Raise :class:`ValueError` unless ``data`` is a valid v1 snapshot.
+
+    Checked: the schema version, required top-level fields and their types,
+    a non-empty entry list with well-formed entries, unique entry names,
+    and — the acceptance bar for a *useful* trajectory point — at least one
+    ``kernel`` and one ``phase`` entry.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"snapshot must be a JSON object, got {type(data).__name__}")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported snapshot schema_version {version!r}; "
+            f"this reader understands {SCHEMA_VERSION}"
+        )
+    for field, kind in (("pr", int), ("scale", str), ("created", str)):
+        value = data.get(field)
+        if not isinstance(value, kind) or isinstance(value, bool):
+            raise ValueError(
+                f"snapshot field {field!r} must be {kind.__name__}, got {value!r}"
+            )
+    entries = data.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("snapshot needs a non-empty 'entries' list")
+    seen = set()
+    kinds = set()
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"entry {position} must be an object, got {entry!r}")
+        missing = [field for field in _REQUIRED_ENTRY_FIELDS if field not in entry]
+        if missing:
+            raise ValueError(f"entry {position} is missing fields {missing}")
+        name, kind, value, unit = (
+            entry["name"],
+            entry["kind"],
+            entry["value"],
+            entry["unit"],
+        )
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"entry {position}: name must be a non-empty string")
+        if kind not in ENTRY_KINDS:
+            raise ValueError(
+                f"entry {name!r}: kind {kind!r} not in {ENTRY_KINDS}"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"entry {name!r}: value must be a number, got {value!r}")
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"entry {name!r}: value must be finite, got {value!r}")
+        if not isinstance(unit, str):
+            raise ValueError(f"entry {name!r}: unit must be a string")
+        if name in seen:
+            raise ValueError(f"duplicate entry name {name!r}")
+        seen.add(name)
+        kinds.add(kind)
+    for required_kind in ("kernel", "phase"):
+        if required_kind not in kinds:
+            raise ValueError(
+                f"snapshot has no {required_kind!r} entries; a trajectory point "
+                f"must cover kernels and phases"
+            )
+
+
+def write_snapshot(data: Dict[str, object], path: str) -> None:
+    """Validate and write one snapshot (stable key order, trailing newline)."""
+    validate_snapshot(data)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Read and validate one snapshot file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    validate_snapshot(data)
+    return data

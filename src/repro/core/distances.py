@@ -48,7 +48,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping as _MappingABC
 from dataclasses import dataclass, field
-from typing import Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro._types import Vertex
 from repro.exceptions import QueryError
@@ -257,6 +257,18 @@ class DistanceIndex:
     def size(self) -> int:
         """Number of stored distance entries (space accounting)."""
         return len(self.from_source) + len(self.to_target)
+
+    def span_attributes(self) -> Dict[str, object]:
+        """Trace attributes describing this index (distance-phase spans).
+
+        O(1): reads only stored sizes, never walks the distance maps, so
+        attaching these to a span costs nothing measurable.
+        """
+        return {
+            "strategy": self.strategy,
+            "index_size": self.size(),
+            "explored_vertices": self.explored_vertices,
+        }
 
 
 # ----------------------------------------------------------------------

@@ -74,7 +74,7 @@ Algorithmic notes (shared with the reference implementation)
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro._types import Vertex
 from repro.core.distances import ArrayDistanceMap, DistanceIndex
@@ -266,6 +266,17 @@ class EssentialVertexIndex:
         """Total number of vertex ids stored across all sets."""
         sets = self._sets
         return sum(len(s) for vertex in self._touched for s in sets[vertex])
+
+    def span_attributes(self) -> Dict[str, object]:
+        """Trace attributes describing this index (propagation-phase spans).
+
+        ``reached`` is O(1); ``entries`` walks the touched list once —
+        cheap relative to the propagation that produced it.
+        """
+        return {
+            f"{self.direction}_reached": len(self._touched),
+            f"{self.direction}_entries": self.stored_entries(),
+        }
 
     def __repr__(self) -> str:
         return (

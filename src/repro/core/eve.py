@@ -38,9 +38,14 @@ from repro.core.essential import EssentialScratch, propagate_backward, propagate
 from repro.core.labeling import compute_upper_bound
 from repro.core.result import PhaseStats, SimplePathGraphResult
 from repro.core.space import SpaceMeter
-from repro.core.verification import order_adjacency, verify_undetermined_edges
+from repro.core.verification import (
+    VerificationStats,
+    order_adjacency,
+    verify_undetermined_edges,
+)
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
+from repro.telemetry import Tracer
 
 __all__ = ["EVEConfig", "EVE", "QueryScratch", "build_spg", "build_upper_bound"]
 
@@ -131,6 +136,7 @@ class EVE:
         shared_backward: Optional[BackwardDistanceMap] = None,
         scratch: Optional[DistanceScratch] = None,
         essential_scratch: Optional[EssentialScratch] = None,
+        tracer: Optional[Tracer] = None,
     ) -> SimplePathGraphResult:
         """Return ``SPG_k(source, target)`` (exact unless ``verify=False``).
 
@@ -146,6 +152,12 @@ class EVE:
         :class:`QueryScratch` its essential side is used automatically.  A
         scratch must not be shared by concurrent queries.  The answer is
         identical with or without any of them.
+
+        ``tracer`` optionally records one ``phase.<name>`` span per executed
+        phase plus one ``query`` summary span.  Phases are already timed for
+        :class:`~repro.core.result.PhaseStats`, so the tracer receives the
+        measured values — tracing adds no clock reads, and when ``tracer``
+        is ``None`` every telemetry site is a single ``is not None`` check.
         """
         self._validate(source, target, k)
         config = self.config
@@ -154,7 +166,7 @@ class EVE:
         space = SpaceMeter()
         phases = PhaseStats()
 
-        started = time.perf_counter()
+        query_started = started = time.perf_counter()
         distances = compute_distance_index(
             self.graph,
             source,
@@ -166,9 +178,28 @@ class EVE:
         )
         space.allocate(distances.size(), category="distances")
         phases.distance_seconds = time.perf_counter() - started
+        if tracer is not None:
+            tracer.record(
+                "phase.distance",
+                started,
+                phases.distance_seconds,
+                shared_backward=shared_backward is not None,
+                **distances.span_attributes(),
+            )
 
         # Fast exit: t not reachable from s within k hops -> empty answer.
         if distances.shortest_st_distance() > k:
+            if tracer is not None:
+                tracer.record(
+                    "query",
+                    query_started,
+                    time.perf_counter() - query_started,
+                    source=source,
+                    target=target,
+                    k=k,
+                    empty=True,
+                    exact=True,
+                )
             return SimplePathGraphResult(
                 source=source,
                 target=target,
@@ -194,13 +225,29 @@ class EVE:
             scratch=essential_scratch,
         )
         phases.propagation_seconds = time.perf_counter() - started
+        if tracer is not None:
+            tracer.record(
+                "phase.propagation",
+                started,
+                phases.propagation_seconds,
+                **forward.span_attributes(),
+                **backward.span_attributes(),
+            )
 
         started = time.perf_counter()
         upper = compute_upper_bound(
             self.graph, source, target, k, distances, forward, backward, space=space
         )
         phases.upper_bound_seconds = time.perf_counter() - started
+        if tracer is not None:
+            tracer.record(
+                "phase.upper_bound",
+                started,
+                phases.upper_bound_seconds,
+                **upper.span_attributes(),
+            )
 
+        verification_stats = VerificationStats() if tracer is not None else None
         if config.verify:
             if config.search_ordering and k >= 6:
                 # For k = 5 the DFS never expands (Section 5.3), so ordering
@@ -208,13 +255,41 @@ class EVE:
                 started = time.perf_counter()
                 order_adjacency(upper)
                 phases.ordering_seconds = time.perf_counter() - started
+                if tracer is not None:
+                    tracer.record(
+                        "phase.ordering", started, phases.ordering_seconds
+                    )
             started = time.perf_counter()
-            edges = verify_undetermined_edges(upper, space=space)
+            edges = verify_undetermined_edges(
+                upper, space=space, stats=verification_stats
+            )
             phases.verification_seconds = time.perf_counter() - started
+            if tracer is not None:
+                tracer.record(
+                    "phase.verification",
+                    started,
+                    phases.verification_seconds,
+                    **verification_stats.span_attributes(),
+                )
             exact = True
         else:
             edges = upper.edges
             exact = k <= 4
+
+        if tracer is not None:
+            tracer.record(
+                "query",
+                query_started,
+                time.perf_counter() - query_started,
+                source=source,
+                target=target,
+                k=k,
+                empty=not edges,
+                exact=exact,
+                answer_edges=len(edges),
+                upper_bound_edges=upper.num_edges,
+                phase_seconds_total=phases.total_seconds,
+            )
 
         return SimplePathGraphResult(
             source=source,

@@ -91,6 +91,26 @@ class UpperBoundGraph:
         """Number of edges of the upper-bound graph."""
         return len(self.definite_edges) + len(self.undetermined_edges)
 
+    @property
+    def num_definite(self) -> int:
+        """Number of DEFINITE edges (Lemmas 4.4/4.6)."""
+        return len(self.definite_edges)
+
+    @property
+    def num_undetermined(self) -> int:
+        """Number of UNDETERMINED edges handed to verification."""
+        return len(self.undetermined_edges)
+
+    def span_attributes(self) -> Dict[str, object]:
+        """Trace attributes describing this upper bound (labeling spans)."""
+        return {
+            "labeled_edges": len(self.labels),
+            "definite_edges": len(self.definite_edges),
+            "undetermined_edges": len(self.undetermined_edges),
+            "departures": len(self.departures),
+            "arrivals": len(self.arrivals),
+        }
+
     def vertices(self) -> Set[Vertex]:
         """Vertices incident to at least one upper-bound edge."""
         found: Set[Vertex] = set()

@@ -18,7 +18,18 @@ from repro.core.space import SpaceMeter
 from repro.graph.digraph import DiGraph
 from repro.graph.subgraph import edge_induced_subgraph
 
-__all__ = ["EdgeLabel", "PhaseStats", "SimplePathGraphResult"]
+__all__ = ["EdgeLabel", "PHASE_NAMES", "PhaseStats", "SimplePathGraphResult"]
+
+#: Canonical phase names, in execution order.  Telemetry (span names, the
+#: per-phase latency histograms in :class:`repro.service.stats.EngineStats`,
+#: the Prometheus ``phase`` label) keys on these exact strings.
+PHASE_NAMES = (
+    "distance",
+    "propagation",
+    "upper_bound",
+    "ordering",
+    "verification",
+)
 
 
 class EdgeLabel(enum.IntEnum):
@@ -64,6 +75,20 @@ class PhaseStats:
             "ordering": self.ordering_seconds,
             "verification": self.verification_seconds,
             "total": self.total_seconds,
+        }
+
+    def by_phase(self) -> Dict[str, float]:
+        """``{phase name: seconds}`` over :data:`PHASE_NAMES` (no total).
+
+        The form consumed by the per-phase latency histograms: every
+        canonical phase is present, phases that did not run report 0.0.
+        """
+        return {
+            "distance": self.distance_seconds,
+            "propagation": self.propagation_seconds,
+            "upper_bound": self.upper_bound_seconds,
+            "ordering": self.ordering_seconds,
+            "verification": self.verification_seconds,
         }
 
 

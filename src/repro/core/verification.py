@@ -25,13 +25,52 @@ in-neighbours in ascending distance from the closest departure.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro._types import Edge, Vertex
 from repro.core.labeling import UpperBoundGraph
 from repro.core.space import SpaceMeter
 
-__all__ = ["verify_undetermined_edges", "order_adjacency", "multi_source_bfs"]
+__all__ = [
+    "VerificationStats",
+    "verify_undetermined_edges",
+    "order_adjacency",
+    "multi_source_bfs",
+]
+
+
+@dataclass
+class VerificationStats:
+    """Work counters for one Algorithm 3 run (the verification phase).
+
+    ROADMAP flags verification as the dominant phase for large ``k``; these
+    counters make the bottleneck measurable per query instead of inferable
+    from wall-clock alone.
+
+    Attributes
+    ----------
+    edges_checked:
+        Undetermined edges for which a DFS was actually launched (edges
+        already confirmed by an earlier successful stack are skipped).
+    edges_confirmed:
+        Undetermined edges that ended up in the answer.
+    expansions:
+        DFS vertex expansions across both search directions — the unit of
+        verification work.
+    """
+
+    edges_checked: int = 0
+    edges_confirmed: int = 0
+    expansions: int = 0
+
+    def span_attributes(self) -> Dict[str, object]:
+        """Trace attributes for the verification-phase span."""
+        return {
+            "edges_checked": self.edges_checked,
+            "edges_confirmed": self.edges_confirmed,
+            "expansions": self.expansions,
+        }
 
 
 def multi_source_bfs(
@@ -91,11 +130,14 @@ def order_adjacency(upper: UpperBoundGraph) -> None:
 def verify_undetermined_edges(
     upper: UpperBoundGraph,
     space: Optional[SpaceMeter] = None,
+    stats: Optional[VerificationStats] = None,
 ) -> Set[Edge]:
     """Run Algorithm 3 and return the exact edge set of ``SPG_k(s, t)``.
 
     The result always contains every definite edge; each undetermined edge
-    is added exactly when a valid path per Theorem 5.6 exists.
+    is added exactly when a valid path per Theorem 5.6 exists.  When
+    ``stats`` is given the search fills its work counters; like ``space``,
+    passing ``None`` keeps the accounting entirely off the hot path.
     """
     source, target, k = upper.source, upper.target, upper.k
     confirmed: Set[Edge] = set(upper.definite_edges)
@@ -132,6 +174,8 @@ def verify_undetermined_edges(
             for previous in in_adjacency.get(current, ()):
                 if previous in stack_vertices:
                     continue
+                if stats is not None:
+                    stats.expansions += 1
                 stack_vertices.add(previous)
                 stack_edges.append((previous, current))
                 if space is not None:
@@ -153,6 +197,8 @@ def verify_undetermined_edges(
             for nxt in out_adjacency.get(current, ()):
                 if nxt in stack_vertices:
                     continue
+                if stats is not None:
+                    stats.expansions += 1
                 stack_vertices.add(nxt)
                 stack_edges.append((current, nxt))
                 if space is not None:
@@ -169,6 +215,8 @@ def verify_undetermined_edges(
     for edge in sorted(upper.undetermined_edges):
         if edge in confirmed:
             continue
+        if stats is not None:
+            stats.edges_checked += 1
         u, v = edge
         stack_vertices = {u, v, source, target}
         stack_edges = [edge]
@@ -177,4 +225,8 @@ def verify_undetermined_edges(
         forward(v, 1, u)
         if space is not None:
             space.release(5, category="verification-stack")
+    if stats is not None:
+        stats.edges_confirmed = sum(
+            1 for edge in upper.undetermined_edges if edge in confirmed
+        )
     return confirmed

@@ -25,7 +25,11 @@ serving layer exploits.  This subsystem layers four things on top of
   at all (process workers keep one bundle each).
 
 :class:`SPGEngine` ties them together and keeps :class:`EngineStats`
-(hit rate, latency quantiles, queries served, scratch reuse); batches run
+(hit rate, latency quantiles and histograms — overall and per EVE phase —
+queries served, scratch reuse), exposable as Prometheus text-format
+exposition via :meth:`EngineStats.to_prometheus` (the CLI's
+``--metrics-out``) and as phase-level trace spans via an attached
+:class:`repro.telemetry.Tracer` (``--trace-out``); batches run
 synchronously (:meth:`SPGEngine.run_batch` / :meth:`SPGEngine.run_stream`)
 or from an event loop (:meth:`SPGEngine.run_batch_async` /
 :meth:`SPGEngine.astream`).  :class:`ShardedSPGEngine`
@@ -42,7 +46,13 @@ served workload.
 """
 
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
-from repro.service.engine import BatchReport, EngineConfig, QueryOutcome, SPGEngine
+from repro.service.engine import (
+    BatchReport,
+    EngineConfig,
+    GroupExecution,
+    QueryOutcome,
+    SPGEngine,
+)
 from repro.service.executor import (
     BACKEND_ENV_VAR,
     EXECUTOR_BACKENDS,
@@ -73,6 +83,7 @@ __all__ = [
     "ScratchPool",
     "QueryOutcome",
     "BatchReport",
+    "GroupExecution",
     "ResultCache",
     "CacheKey",
     "make_cache_key",

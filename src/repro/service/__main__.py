@@ -34,6 +34,7 @@ from repro.graph.io import load_graph
 from repro.service.engine import EngineConfig, QueryOutcome, SPGEngine
 from repro.service.executor import EXECUTOR_BACKENDS
 from repro.service.workload_io import read_queries, write_outcome
+from repro.telemetry import Tracer
 
 __all__ = ["build_parser", "main"]
 
@@ -127,6 +128,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print an engine stats JSON object to stderr when done",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the engine's metrics as Prometheus text-format 0.0.4 "
+            "exposition to PATH when done ('-' for stderr)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable phase-level tracing and write the collected spans as "
+            "JSON lines to PATH when done ('-' for stderr)"
+        ),
+    )
     return parser
 
 
@@ -190,6 +209,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ReproError, ValueError) as exc:
         print(f"error: invalid engine configuration: {exc}", file=sys.stderr)
         return 2
+    if args.trace_out is not None:
+        engine.tracer = Tracer()
 
     translated, failed = _translate(raw_queries, builder)
     with engine:
@@ -217,6 +238,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.stats:
         print(json.dumps(engine.stats_snapshot()), file=sys.stderr)
+    if args.metrics_out is not None:
+        exposition = engine.stats.to_prometheus()
+        if args.metrics_out == "-":
+            sys.stderr.write(exposition)
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+    if args.trace_out is not None:
+        if args.trace_out == "-":
+            engine.tracer.export_jsonl(sys.stderr)
+        else:
+            engine.tracer.export_jsonl(args.trace_out)
     return 0
 
 

@@ -22,11 +22,17 @@ cache state, planning, backend or parallelism:
 
 Process-backend mechanics: the engine builds its pool with an initializer
 that installs the (pickled or fork-shared) graph, the config, and one
-reusable :class:`~repro.core.eve.QueryScratch` (distance + essential
+worker-local :class:`~repro.service.scratch.ScratchPool` of
+:class:`~repro.core.eve.QueryScratch` bundles (distance + essential
 propagation flat buffers) per worker; each
 planned group then crosses the boundary as a small picklable payload, and
 every payload carries the parent graph's fingerprint so a desynchronised
-worker fails loudly instead of answering against a stale graph.
+worker fails loudly instead of answering against a stale graph.  Worker
+tasks come back as :class:`GroupExecution` payloads — the per-query
+entries plus the counter delta the worker's scratch pool recorded (and
+drained trace events when tracing is on) — which ``_finalize_batch`` folds
+into the parent's :class:`~repro.service.stats.EngineStats` and tracer, so
+pool-side work is visible in the same place as in-process work.
 """
 
 from __future__ import annotations
@@ -51,7 +57,7 @@ from typing import (
 
 from repro._types import Edge, Vertex
 from repro.core.distances import backward_distance_map
-from repro.core.eve import EVE, EVEConfig, QueryScratch
+from repro.core.eve import EVE, EVEConfig
 from repro.core.result import SimplePathGraphResult
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
@@ -74,8 +80,15 @@ from repro.service.executor import (
 from repro.service.planner import BatchPlan, QueryGroup, plan_batch
 from repro.service.scratch import ScratchPool
 from repro.service.stats import EngineStats
+from repro.telemetry import TraceEvent, Tracer
 
-__all__ = ["EngineConfig", "QueryOutcome", "BatchReport", "SPGEngine"]
+__all__ = [
+    "EngineConfig",
+    "QueryOutcome",
+    "BatchReport",
+    "GroupExecution",
+    "SPGEngine",
+]
 
 QueryLike = object  # (s, t, k) tuple/list, Query, or {"source", "target", "k"} mapping
 
@@ -204,6 +217,39 @@ class BatchReport:
         return sum(1 for outcome in self.outcomes if outcome.ok)
 
 
+@dataclass
+class GroupExecution:
+    """Picklable result of one worker-side task group: entries + telemetry.
+
+    ``entries`` is the usual :data:`GroupResult`; ``counters`` is the stats
+    delta the worker measured while running the group (scratch checkouts,
+    sharded backward passes — the keys
+    :meth:`repro.service.stats.EngineStats.merge_counters` accepts), and
+    ``events`` carries the worker tracer's drained spans when the parent
+    requested tracing.  Results already ship their
+    :class:`~repro.core.result.PhaseStats` breakdown, so phase *histograms*
+    need no worker-side transport — only the counters recorded inside the
+    worker do.
+    """
+
+    entries: GroupResult
+    counters: Dict[str, int] = field(default_factory=dict)
+    events: List[TraceEvent] = field(default_factory=list)
+
+
+def _active_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Normalise a disabled tracer (e.g. ``NOOP_TRACER``) to ``None``.
+
+    The engine and the EVE driver gate every telemetry site on a single
+    ``tracer is not None`` check, so folding disabled tracers into ``None``
+    here keeps the disabled hot path to exactly one branch per site — no
+    attribute dicts are built and no no-op methods are called.
+    """
+    if tracer is None or not getattr(tracer, "enabled", True):
+        return None
+    return tracer
+
+
 # ----------------------------------------------------------------------
 # Group execution, shared by every backend
 # ----------------------------------------------------------------------
@@ -213,6 +259,7 @@ def _execute_group(
     group: QueryGroup,
     borrow_scratch,
     shared_backward_for=None,
+    tracer: Optional[Tracer] = None,
 ) -> GroupResult:
     """Run one planned group sequentially, isolating per-query errors.
 
@@ -228,7 +275,9 @@ def _execute_group(
     whole-graph :func:`repro.core.distances.backward_distance_map`; both
     produce identical distances.  When that precomputation itself fails
     (e.g. the common target is not a vertex), each query falls through to
-    the cold path and reports the error individually.
+    the cold path and reports the error individually.  ``tracer``
+    optionally records the per-phase spans of every executed query (see
+    :meth:`repro.core.eve.EVE.query`).
     """
     shared = None
     if group.shared:
@@ -252,6 +301,7 @@ def _execute_group(
                     planned.k,
                     shared_backward=shared,
                     scratch=scratch,
+                    tracer=tracer,
                 )
         except Exception as exc:  # noqa: BLE001 - per-query isolation
             out.append(
@@ -269,7 +319,7 @@ def _execute_group(
 # ----------------------------------------------------------------------
 _worker_graph: Optional[DiGraph] = None
 _worker_config: Optional[EVEConfig] = None
-_worker_scratch: Optional[QueryScratch] = None
+_worker_scratch: Optional[ScratchPool] = None
 _worker_attached: Optional[AttachedGraphSegment] = None
 _worker_cleanup_registered = False
 
@@ -280,7 +330,10 @@ def _init_process_worker(graph: DiGraph, config: EVEConfig) -> None:
     Runs exactly once per worker process — the one-time pickling (or
     ``fork`` copy-on-write share) of the graph that replaces any per-task
     graph shipping.  The CSR views and fingerprint are warmed eagerly so the
-    first served group does not pay the O(m) rebuild.
+    first served group does not pay the O(m) rebuild.  The scratch lives in
+    a worker-local *standalone* :class:`~repro.service.scratch.ScratchPool`
+    (it records its own counters), so each task can report the pool-counter
+    delta it caused back to the parent.
     """
     global _worker_graph, _worker_config, _worker_scratch
     graph.csr()
@@ -288,7 +341,7 @@ def _init_process_worker(graph: DiGraph, config: EVEConfig) -> None:
     graph.fingerprint()
     _worker_graph = graph
     _worker_config = config
-    _worker_scratch = QueryScratch()
+    _worker_scratch = ScratchPool()
 
 
 def _release_worker_state() -> None:
@@ -365,17 +418,43 @@ def _worker_graph_probe() -> Dict[str, object]:
 
 @contextmanager
 def _worker_borrow():
-    """Hand out this worker's scratch (workers run one group at a time)."""
-    yield _worker_scratch
+    """Borrow from this worker's scratch pool (kept for the shard layer)."""
+    with _worker_scratch.borrow() as scratch:
+        yield scratch
 
 
-def _process_run_group(fingerprint: str, group: QueryGroup) -> GroupResult:
+def _scratch_counter_delta(
+    pool: ScratchPool, allocations_before: int, reuses_before: int
+) -> Dict[str, int]:
+    """The :meth:`EngineStats.merge_counters` delta one task caused.
+
+    A :class:`~repro.core.eve.QueryScratch` bundle carries both the
+    distance and the propagation buffers, so one checkout counts once under
+    each counter pair — mirroring what an engine-attached pool records.
+    """
+    allocations = pool.allocations - allocations_before
+    reuses = pool.reuses - reuses_before
+    counters: Dict[str, int] = {}
+    if allocations:
+        counters["scratch_allocations"] = allocations
+        counters["propagation_scratch_allocations"] = allocations
+    if reuses:
+        counters["scratch_reuses"] = reuses
+        counters["propagation_scratch_reuses"] = reuses
+    return counters
+
+
+def _process_run_group(
+    fingerprint: str, group: QueryGroup, trace: bool = False
+) -> GroupExecution:
     """Worker-side group runner for the process backend.
 
     ``fingerprint`` is the parent engine's view of the served graph; a
     mismatch means this worker was initialised against a different graph
     (e.g. a swap raced pool construction) and must fail loudly rather than
-    silently answer against stale data.
+    silently answer against stale data.  Returns a :class:`GroupExecution`
+    so the scratch-counter delta (and trace events, when ``trace`` is set)
+    reach the parent's stats instead of dying with the worker.
     """
     if _worker_graph is None or _worker_config is None:
         raise RuntimeError("process worker used before initialisation")
@@ -384,7 +463,17 @@ def _process_run_group(fingerprint: str, group: QueryGroup) -> GroupResult:
             f"process worker graph fingerprint {_worker_graph.fingerprint()} "
             f"does not match batch fingerprint {fingerprint}"
         )
-    return _execute_group(_worker_graph, _worker_config, group, _worker_borrow)
+    pool = _worker_scratch
+    allocations_before, reuses_before = pool.allocations, pool.reuses
+    tracer = Tracer() if trace else None
+    entries = _execute_group(
+        _worker_graph, _worker_config, group, pool.borrow, tracer=tracer
+    )
+    return GroupExecution(
+        entries=entries,
+        counters=_scratch_counter_delta(pool, allocations_before, reuses_before),
+        events=tracer.drain() if tracer is not None else [],
+    )
 
 
 def _bind_segment_to_backend(
@@ -528,6 +617,14 @@ class SPGEngine:
         initializer.  ``True`` requires the segment (construction of the
         pool raises when shared memory is unavailable); ``False`` always
         pickles.  Irrelevant for in-process backends.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`.  When set, every cache
+        miss records its per-phase spans into it — in-process queries
+        directly, process-pool queries via a worker-local tracer whose
+        events are merged back with the task result.  ``None`` (default)
+        disables tracing; the hot path then pays one ``is not None`` check
+        per telemetry site.  Also settable later via the ``tracer``
+        property (taking effect from the next query/batch).
     """
 
     def __init__(
@@ -541,12 +638,14 @@ class SPGEngine:
         latency_window: int = 4096,
         executor_backend: Optional[str] = None,
         shared_memory: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._graph = graph
         self._config = config or EVEConfig()
         self._cache = ResultCache(cache_size) if cache_size > 0 else None
         self._stats = EngineStats(latency_window)
         self._scratch = ScratchPool(self._stats)
+        self._tracer = _active_tracer(tracer)
         self._max_workers = max_workers
         self._min_group_size = min_group_size
         self._swap_lock = Lock()
@@ -620,6 +719,15 @@ class SPGEngine:
     @property
     def scratch_pool(self) -> ScratchPool:
         return self._scratch
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The engine's tracer, or ``None`` when tracing is off."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[Tracer]) -> None:
+        self._tracer = _active_tracer(tracer)
 
     @property
     def executor_backend(self) -> str:
@@ -896,13 +1004,19 @@ class SPGEngine:
         started = time.perf_counter()
         try:
             with self._scratch.borrow() as scratch:
-                result = EVE(graph, self._config).query(source, target, k, scratch=scratch)
+                result = EVE(graph, self._config).query(
+                    source, target, k, scratch=scratch, tracer=self._tracer
+                )
         except Exception:
             self._stats.record_query(
                 time.perf_counter() - started, cached=False, error=True
             )
             raise
-        self._stats.record_query(time.perf_counter() - started, cached=False)
+        self._stats.record_query(
+            time.perf_counter() - started,
+            cached=False,
+            phases=result.phases.by_phase(),
+        )
         if key is not None:
             self._cache.put(key, result)
         return result
@@ -1155,11 +1269,13 @@ class SPGEngine:
 
         In-process backends close over the engine (shared scratch pool and
         stats); the process backend gets module-level picklable payloads
-        carrying the graph fingerprint for the worker-side staleness check.
+        carrying the graph fingerprint for the worker-side staleness check
+        plus whether the parent wants trace events shipped back.
         """
         if backend.requires_picklable_tasks:
+            trace = self._tracer is not None
             return [
-                Call(_process_run_group, (prepared.fingerprint, group))
+                Call(_process_run_group, (prepared.fingerprint, group, trace))
                 for group in prepared.plan.groups
             ]
         graph = prepared.graph
@@ -1178,7 +1294,16 @@ class SPGEngine:
         primaries = prepared.primaries
         use_cache = prepared.use_cache
 
+        tracer = self._tracer
         for group, group_result in zip(prepared.plan.groups, group_results):
+            if isinstance(group_result, GroupExecution):
+                # Worker-side execution: fold the counter delta (and trace
+                # events) into the parent before unwrapping the entries.
+                if group_result.counters:
+                    self._stats.merge_counters(group_result.counters)
+                if group_result.events and tracer is not None:
+                    tracer.extend(group_result.events)
+                group_result = group_result.entries
             if isinstance(group_result, TaskError):
                 # Defensive: group runners isolate per-query errors, so this
                 # only fires on unexpected failures (a dead worker process,
@@ -1234,11 +1359,16 @@ class SPGEngine:
             reused_backward_passes=prepared.plan.reused_backward_passes,
         )
         for outcome in report.outcomes:
+            # Phase breakdowns ride inside results, so computed queries
+            # record their per-phase histograms here in the parent — the
+            # same site for every backend, in-process or pooled.
+            computed = not outcome.cached and outcome.result is not None
             self._stats.record_query(
                 outcome.latency_seconds,
                 cached=outcome.cached,
                 error=not outcome.ok,
                 reused_backward=outcome.reused_backward,
+                phases=outcome.result.phases.by_phase() if computed else None,
             )
             if outcome.cached:
                 report.cache_hits += 1
@@ -1248,8 +1378,10 @@ class SPGEngine:
         return report
 
     def _run_group(self, graph: DiGraph, group: QueryGroup) -> GroupResult:
-        """In-process group runner: pooled scratch, shared stats."""
-        return _execute_group(graph, self._config, group, self._scratch.borrow)
+        """In-process group runner: pooled scratch, shared stats and tracer."""
+        return _execute_group(
+            graph, self._config, group, self._scratch.borrow, tracer=self._tracer
+        )
 
     @staticmethod
     def _normalize(query: QueryLike) -> Tuple[Vertex, Vertex, int]:

@@ -46,14 +46,17 @@ from repro.graph.partition import (
 )
 from repro.graph.shm import SharedGraphDescriptor
 from repro.service.engine import (
+    GroupExecution,
     SPGEngine,
     _execute_group,
     _init_process_worker,
     _attach_worker_graph,
+    _scratch_counter_delta,
 )
 from repro.service import engine as _engine_module
 from repro.service.executor import Call, ExecutorBackend
 from repro.service.planner import QueryGroup
+from repro.telemetry import Tracer
 
 __all__ = [
     "ShardedSPGEngine",
@@ -117,8 +120,8 @@ def _init_sharded_shared_worker(
 
 
 def _sharded_process_run_group(
-    shard_fingerprint: str, shard_id: int, group: QueryGroup
-) -> object:
+    shard_fingerprint: str, shard_id: int, group: QueryGroup, trace: bool = False
+) -> GroupExecution:
     """Worker-side group runner for the sharded engine's process backend.
 
     ``shard_fingerprint`` is the parent engine's shard-set fingerprint; a
@@ -126,7 +129,11 @@ def _sharded_process_run_group(
     shard layout and must fail loudly.  ``shard_id`` is the routing
     decision (owner of the group's target) made in the parent — verified
     here so a routing/partitioning disagreement surfaces as an error
-    instead of silently seeding the BFS elsewhere.
+    instead of silently seeding the BFS elsewhere.  Returns a
+    :class:`~repro.service.engine.GroupExecution` whose counter delta
+    covers the scratch checkouts *and* the halo-exchange backward passes
+    this task computed, so sharded pool work shows up in the parent's
+    stats like in-process work does.
     """
     shard_set = _worker_shard_set
     if shard_set is None or _engine_module._worker_graph is None:
@@ -144,12 +151,32 @@ def _sharded_process_run_group(
             f"but the worker partition owns it on shard "
             f"{shard_set.owner(group.target)}"
         )
-    return _execute_group(
+    backward_passes = 0
+
+    def counted_backward(target, k):
+        nonlocal backward_passes
+        shared = shard_set.backward_distance_map(target, k)
+        backward_passes += 1
+        return shared
+
+    pool = _engine_module._worker_scratch
+    allocations_before, reuses_before = pool.allocations, pool.reuses
+    tracer = Tracer() if trace else None
+    entries = _execute_group(
         _engine_module._worker_graph,
         _engine_module._worker_config,
         group,
-        _engine_module._worker_borrow,
-        shared_backward_for=shard_set.backward_distance_map,
+        pool.borrow,
+        shared_backward_for=counted_backward,
+        tracer=tracer,
+    )
+    counters = _scratch_counter_delta(pool, allocations_before, reuses_before)
+    if backward_passes:
+        counters["sharded_backward_passes"] = backward_passes
+    return GroupExecution(
+        entries=entries,
+        counters=counters,
+        events=tracer.drain() if tracer is not None else [],
     )
 
 
@@ -264,6 +291,7 @@ class ShardedSPGEngine(SPGEngine):
             group,
             self._scratch.borrow,
             shared_backward_for=self._shared_backward_provider(graph),
+            tracer=self._tracer,
         )
 
     def _record_routes(self, routes: List[int]) -> None:
@@ -286,10 +314,11 @@ class ShardedSPGEngine(SPGEngine):
         ]
         self._record_routes(routes)
         if backend.requires_picklable_tasks:
+            trace = self._tracer is not None
             return [
                 Call(
                     _sharded_process_run_group,
-                    (prepared.fingerprint, shard_id, group),
+                    (prepared.fingerprint, shard_id, group, trace),
                 )
                 for shard_id, group in zip(routes, prepared.plan.groups)
             ]

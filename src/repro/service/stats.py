@@ -1,37 +1,101 @@
-"""Engine observability: thread-safe counters and latency quantiles.
+"""Engine observability: thread-safe counters, quantiles and exposition.
 
 :class:`EngineStats` is the per-engine metrics object surfaced by
 :meth:`repro.service.SPGEngine.stats`.  Latencies are kept in a bounded
 ring buffer (:class:`LatencyWindow`) so a long-lived engine reports
-quantiles over *recent* traffic with O(1) memory.
+quantiles over *recent* traffic with O(1) memory; alongside the ring each
+window maintains cumulative histogram buckets (Prometheus semantics: the
+bucket counters and the sum are monotonic over the window's lifetime, they
+do *not* forget overwritten samples).
+
+Beyond the overall query-latency window, :class:`EngineStats` keeps one
+window per EVE phase (:data:`repro.core.result.PHASE_NAMES`) fed from the
+:class:`~repro.core.result.PhaseStats` of every computed (cache-miss)
+query — results carry their phase breakdown across process boundaries, so
+the per-phase histograms are identical no matter which executor backend
+ran the query.
+
+:meth:`EngineStats.to_prometheus` renders everything as text-format 0.0.4
+exposition (see :mod:`repro.telemetry.prometheus`);
+:meth:`EngineStats.merge_counters` folds in the counter deltas that
+process-pool workers ship back inside task results.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["LatencyWindow", "EngineStats"]
+from repro.core.result import PHASE_NAMES
+from repro.telemetry import render_counter, render_gauge, render_histogram
+
+__all__ = ["DEFAULT_LATENCY_BUCKETS", "LatencyWindow", "EngineStats"]
+
+#: Default histogram bucket upper bounds, in seconds.  Sub-millisecond
+#: resolution at the low end (cache hits, tiny queries) through tens of
+#: seconds (large-k verification) — 14 buckets, log-ish spacing.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    10.0,
+)
 
 
 class LatencyWindow:
-    """Bounded reservoir of the most recent latency samples (seconds).
+    """Bounded reservoir of recent latency samples plus cumulative buckets.
 
     Once ``capacity`` samples have been recorded, the oldest sample is
     overwritten (ring buffer), so quantiles always describe the last
-    ``capacity`` observations.
+    ``capacity`` observations.  The histogram side is *cumulative*: bucket
+    counts and the running sum cover every sample ever recorded (they are
+    Prometheus counters and never decrease), so they survive ring
+    overwrites and :attr:`recorded` equals the ``+Inf`` bucket.
     """
 
-    __slots__ = ("_capacity", "_samples", "_position", "_recorded")
+    __slots__ = (
+        "_capacity",
+        "_samples",
+        "_position",
+        "_recorded",
+        "_bounds",
+        "_bucket_counts",
+        "_sum",
+        "_sorted",
+    )
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("at least one histogram bucket bound is required")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly ascending: {bounds}")
         self._capacity = capacity
         self._samples: List[float] = []
         self._position = 0
         self._recorded = 0
+        self._bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self._sum = 0.0
+        #: Cached sorted view of ``_samples``; ``None`` marks it stale.
+        self._sorted: Optional[List[float]] = None
 
     def record(self, seconds: float) -> None:
         """Add one latency sample."""
@@ -41,19 +105,68 @@ class LatencyWindow:
             self._samples[self._position] = seconds
             self._position = (self._position + 1) % self._capacity
         self._recorded += 1
+        self._sorted = None
+        self._sum += seconds
+        for index, bound in enumerate(self._bounds):
+            if seconds <= bound:
+                self._bucket_counts[index] += 1
+                break
 
     def quantile(self, q: float) -> float:
         """Return the ``q``-quantile (nearest-rank) of the retained samples.
 
-        Returns 0.0 when no sample has been recorded yet.
+        Returns 0.0 when no sample has been recorded yet.  The sorted view
+        is cached between calls and invalidated on :meth:`record`, so
+        scraping several quantiles from an idle window sorts once.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._samples)
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
+
+    def histogram(self) -> Tuple[Tuple[float, ...], List[int], float, int]:
+        """Return ``(bounds, cumulative_counts, sum, count)``.
+
+        The shape :func:`repro.telemetry.render_histogram` takes for one
+        series: ``cumulative_counts[i]`` is the number of samples ``<=
+        bounds[i]`` over the window's whole lifetime, ``count`` the total
+        recorded (the implicit ``+Inf`` bucket).
+        """
+        cumulative: List[int] = []
+        running = 0
+        for count in self._bucket_counts:
+            running += count
+            cumulative.append(running)
+        return self._bounds, cumulative, self._sum, self._recorded
+
+    def reset(self) -> None:
+        """Drop every sample, bucket count and the running sum."""
+        self._samples = []
+        self._position = 0
+        self._recorded = 0
+        self._bucket_counts = [0] * len(self._bounds)
+        self._sum = 0.0
+        self._sorted = None
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples (the ring size)."""
+        return self._capacity
+
+    @property
+    def bucket_bounds(self) -> Tuple[float, ...]:
+        """The explicit histogram bucket upper bounds, ascending."""
+        return self._bounds
+
+    @property
+    def sum_seconds(self) -> float:
+        """Cumulative sum of every sample ever recorded."""
+        return self._sum
 
     @property
     def recorded(self) -> int:
@@ -64,17 +177,38 @@ class LatencyWindow:
         return len(self._samples)
 
 
+#: Counter attributes a worker-side delta may add to (see
+#: :meth:`EngineStats.merge_counters`): the scratch-pool and sharded
+#: backward-pass counters, which are the only stats recorded *inside*
+#: process-pool workers rather than from results in the parent.
+_MERGEABLE_COUNTERS = frozenset(
+    {
+        "scratch_allocations",
+        "scratch_reuses",
+        "propagation_scratch_allocations",
+        "propagation_scratch_reuses",
+        "sharded_backward_passes",
+    }
+)
+
+
 class EngineStats:
-    """Thread-safe counters and latency quantiles for one engine.
+    """Thread-safe counters, latency quantiles and histograms for one engine.
 
     Every served query records exactly one observation; cache hits count
     into ``cache_hits`` and computed queries into ``cache_misses`` so
     ``hit_rate`` is the fraction of queries answered without running EVE.
+    Computed queries additionally record their per-phase durations into one
+    :class:`LatencyWindow` per EVE phase, keyed by
+    :data:`repro.core.result.PHASE_NAMES`.
     """
 
     def __init__(self, latency_window: int = 4096) -> None:
         self._lock = threading.Lock()
         self._latencies = LatencyWindow(latency_window)
+        self._phase_latencies: Dict[str, LatencyWindow] = {
+            phase: LatencyWindow(latency_window) for phase in PHASE_NAMES
+        }
         self.queries_served = 0
         self.batches_served = 0
         self.cache_hits = 0
@@ -95,8 +229,16 @@ class EngineStats:
         cached: bool,
         error: bool = False,
         reused_backward: bool = False,
+        phases: Optional[Mapping[str, float]] = None,
     ) -> None:
-        """Record one served query."""
+        """Record one served query.
+
+        ``phases`` optionally carries the per-phase duration breakdown of a
+        computed query (:meth:`repro.core.result.PhaseStats.by_phase`);
+        every key must be a canonical phase name.  Phase breakdowns travel
+        inside results, so the engine records them here in the parent for
+        every backend — including queries executed in pool workers.
+        """
         with self._lock:
             self.queries_served += 1
             if error:
@@ -108,6 +250,10 @@ class EngineStats:
             if reused_backward:
                 self.shared_backward_reuses += 1
             self._latencies.record(latency_seconds)
+            if phases is not None:
+                windows = self._phase_latencies
+                for phase, seconds in phases.items():
+                    windows[phase].record(seconds)
 
     def record_batch(self) -> None:
         """Record one served batch."""
@@ -119,8 +265,9 @@ class EngineStats:
 
         Counted by :class:`repro.service.shard.ShardedSPGEngine` whenever a
         shared ``(t, k)`` pass runs through the halo-exchange kernel
-        *in-process*; like the scratch counters, passes computed inside
-        process-pool workers stay invisible to the parent's stats.
+        in-process; passes computed inside process-pool workers arrive via
+        :meth:`merge_counters` from the per-task deltas instead, so the
+        counter covers every backend.
         """
         with self._lock:
             self.sharded_backward_passes += 1
@@ -128,18 +275,17 @@ class EngineStats:
     def record_scratch(self, *, reused: bool) -> None:
         """Record one scratch-buffer checkout (allocation vs pool reuse).
 
-        Every query *executed in-process* checks out exactly one scratch,
-        so on an in-process backend (``serial``/``thread``/``async``) and a
+        Every executed query checks out exactly one scratch, so on a
         workload where every query actually runs (no malformed batch
         entries, no duplicates of a failed primary — those are recorded as
         cache misses without executing), ``scratch_allocations +
-        scratch_reuses == cache_misses``.  Unconditionally,
-        ``scratch_allocations`` stays bounded by the peak number of
-        concurrent workers — that is the "zero per-query allocation"
-        property the throughput benchmark asserts.  The ``process`` backend
-        is outside both invariants: its workers each keep one private
-        scratch in their own process, so these parent-side counters stay at
-        zero however many queries the pool executes.
+        scratch_reuses == cache_misses``, and ``scratch_allocations`` stays
+        bounded by the peak number of concurrent workers — the "zero
+        per-query allocation" property the throughput benchmark asserts.
+        In-process backends (``serial``/``thread``/``async``) count here
+        directly; the ``process`` backend counts in each worker's local
+        pool and folds the deltas in via :meth:`merge_counters`, so both
+        invariants hold across all backends.
         """
         with self._lock:
             if reused:
@@ -150,21 +296,43 @@ class EngineStats:
     def record_propagation_scratch(self, *, reused: bool) -> None:
         """Record one essential-propagation scratch checkout.
 
-        The propagation twin of :meth:`record_scratch`: since the pool
-        hands out :class:`repro.core.eve.QueryScratch` bundles, every
-        in-process query checks out exactly one set of propagation buffers
+        The propagation twin of :meth:`record_scratch`: since the pools
+        hand out :class:`repro.core.eve.QueryScratch` bundles, every
+        executed query checks out exactly one set of propagation buffers
         alongside its distance buffers, and ``propagation_scratch_allocations``
         stays bounded by the peak number of concurrent workers — the "zero
         per-query propagation allocation" property the labelling kernel
         benchmark asserts.  Counted separately so the distance and
         propagation claims remain individually assertable (and would
-        diverge if the pooling of the two ever split).
+        diverge if the pooling of the two ever split).  Worker-side
+        checkouts arrive via :meth:`merge_counters` like the distance ones.
         """
         with self._lock:
             if reused:
                 self.propagation_scratch_reuses += 1
             else:
                 self.propagation_scratch_allocations += 1
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold a worker-side counter delta into these stats.
+
+        ``counters`` maps attribute names (a subset of the scratch and
+        sharded-backward counters) to non-negative increments — the deltas
+        a process-pool worker measured while executing one task group.
+        Unknown keys raise: a typo silently dropping a counter would
+        re-create exactly the blind spot this path exists to close.
+        """
+        for name, value in counters.items():
+            if name not in _MERGEABLE_COUNTERS:
+                raise ValueError(
+                    f"cannot merge unknown counter {name!r}; "
+                    f"expected one of {sorted(_MERGEABLE_COUNTERS)}"
+                )
+            if value < 0:
+                raise ValueError(f"counter delta {name!r} must be >= 0, got {value}")
+        with self._lock:
+            for name, value in counters.items():
+                setattr(self, name, getattr(self, name) + value)
 
     # ------------------------------------------------------------------
     @property
@@ -179,11 +347,21 @@ class EngineStats:
         with self._lock:
             return self._latencies.quantile(q)
 
+    def phase_percentile_seconds(self, phase: str, q: float) -> float:
+        """Per-phase latency quantile over the recent window, in seconds."""
+        with self._lock:
+            return self._phase_latencies[phase].quantile(q)
+
+    def phase_recorded(self, phase: str) -> int:
+        """Number of per-phase samples recorded for ``phase``."""
+        with self._lock:
+            return self._phase_latencies[phase].recorded
+
     def snapshot(self) -> Dict[str, object]:
         """Return a point-in-time dictionary view (JSON friendly)."""
         with self._lock:
             total = self.cache_hits + self.cache_misses
-            return {
+            snap: Dict[str, object] = {
                 "queries_served": self.queries_served,
                 "batches_served": self.batches_served,
                 "cache_hits": self.cache_hits,
@@ -200,12 +378,107 @@ class EngineStats:
                 "p95_ms": self._latencies.quantile(0.95) * 1000.0,
                 "p99_ms": self._latencies.quantile(0.99) * 1000.0,
             }
+            phases: Dict[str, Dict[str, float]] = {}
+            for phase, window in self._phase_latencies.items():
+                if window.recorded:
+                    phases[phase] = {
+                        "samples": window.recorded,
+                        "total_seconds": window.sum_seconds,
+                        "p50_ms": window.quantile(0.50) * 1000.0,
+                        "p95_ms": window.quantile(0.95) * 1000.0,
+                    }
+            snap["phases"] = phases
+            return snap
+
+    def to_prometheus(self) -> str:
+        """Render every metric as Prometheus text-format 0.0.4 exposition.
+
+        Counters carry the conventional ``_total`` suffix; the overall and
+        per-phase latency distributions are histograms (the per-phase one
+        is a single family labelled ``phase="..."``).  The output parses
+        under :func:`repro.telemetry.parse_exposition` — a test holds it to
+        the grammar — and ends with a trailing newline as scrapers expect.
+        """
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            hit_rate = self.cache_hits / total if total else 0.0
+            lines: List[str] = []
+            for name, help_text, value in (
+                ("repro_queries_served_total", "Queries served.", self.queries_served),
+                ("repro_batches_served_total", "Batches served.", self.batches_served),
+                ("repro_cache_hits_total", "Queries answered from cache.", self.cache_hits),
+                ("repro_cache_misses_total", "Queries computed by EVE.", self.cache_misses),
+                ("repro_errors_total", "Queries that raised.", self.errors),
+                (
+                    "repro_shared_backward_reuses_total",
+                    "Queries that reused a shared (t, k) backward pass.",
+                    self.shared_backward_reuses,
+                ),
+                (
+                    "repro_sharded_backward_passes_total",
+                    "Backward passes computed partition-parallel.",
+                    self.sharded_backward_passes,
+                ),
+                (
+                    "repro_scratch_allocations_total",
+                    "Distance scratch buffers allocated.",
+                    self.scratch_allocations,
+                ),
+                (
+                    "repro_scratch_reuses_total",
+                    "Distance scratch buffers reused from the pool.",
+                    self.scratch_reuses,
+                ),
+                (
+                    "repro_propagation_scratch_allocations_total",
+                    "Propagation scratch buffers allocated.",
+                    self.propagation_scratch_allocations,
+                ),
+                (
+                    "repro_propagation_scratch_reuses_total",
+                    "Propagation scratch buffers reused from the pool.",
+                    self.propagation_scratch_reuses,
+                ),
+            ):
+                lines.extend(render_counter(name, help_text, value))
+            lines.extend(
+                render_gauge(
+                    "repro_cache_hit_ratio",
+                    "Fraction of queries answered from cache.",
+                    hit_rate,
+                )
+            )
+            bounds, cumulative, sum_seconds, count = self._latencies.histogram()
+            lines.extend(
+                render_histogram(
+                    "repro_query_latency_seconds",
+                    "End-to-end per-query latency.",
+                    [(None, bounds, cumulative, sum_seconds, count)],
+                )
+            )
+            phase_series = []
+            for phase in PHASE_NAMES:
+                bounds, cumulative, sum_seconds, count = self._phase_latencies[
+                    phase
+                ].histogram()
+                phase_series.append(
+                    ({"phase": phase}, bounds, cumulative, sum_seconds, count)
+                )
+            lines.extend(
+                render_histogram(
+                    "repro_phase_latency_seconds",
+                    "Per-EVE-phase latency of computed queries.",
+                    phase_series,
+                )
+            )
+            return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
-        """Zero every counter and drop the latency window."""
+        """Zero every counter and drop the latency windows."""
         with self._lock:
-            capacity = self._latencies._capacity
-            self._latencies = LatencyWindow(capacity)
+            self._latencies.reset()
+            for window in self._phase_latencies.values():
+                window.reset()
             self.queries_served = 0
             self.batches_served = 0
             self.cache_hits = 0

@@ -1,0 +1,292 @@
+"""Low-overhead span recording for phase-level query telemetry.
+
+A :class:`Tracer` collects :class:`TraceEvent` records — named spans with a
+monotonic start offset, a duration, a wall-clock completion time and a flat
+attribute mapping — into a bounded thread-safe buffer.  Producers either
+
+* time a block themselves and call :meth:`Tracer.record` with the measured
+  ``started``/``duration`` (the EVE query driver does this: its phases are
+  already timed for :class:`repro.core.result.PhaseStats`, so tracing adds
+  no extra clock reads), or
+* wrap a block in the :meth:`Tracer.span` context manager and let the span
+  measure itself.
+
+Events are plain picklable objects on purpose: process-pool workers build a
+local tracer per task and ship the drained events back to the parent engine
+inside the task result (see :class:`repro.service.engine.GroupExecution`),
+so traces from worker-side execution land in the same buffer as in-process
+spans.
+
+When tracing is off the driver holds ``None`` (or :data:`NOOP_TRACER`) and
+every telemetry site reduces to one attribute/None check — the disabled
+hot path stays within noise of the untraced engine, which the throughput
+benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Union
+
+__all__ = ["TraceEvent", "Tracer", "NoopTracer", "NOOP_TRACER"]
+
+#: Default bound on retained events: one batch of a few thousand misses
+#: traces completely, while a long-lived engine cannot grow without bound.
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass
+class TraceEvent:
+    """One completed span.
+
+    Attributes
+    ----------
+    name:
+        Span name, e.g. ``"phase.distance"`` or ``"query"``.
+    started:
+        ``time.perf_counter()`` at span start — monotonic, comparable only
+        within one process (workers' offsets are not the parent's).
+    duration:
+        Span length in seconds (monotonic-clock difference).
+    wall_time:
+        ``time.time()`` at span *completion*, for cross-process ordering
+        and human-readable export.
+    attributes:
+        Flat, JSON-friendly span attributes (query endpoints, index sizes,
+        verification counters, ...).
+    """
+
+    name: str
+    started: float
+    duration: float
+    wall_time: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSONL export form: one flat object per event."""
+        return {
+            "name": self.name,
+            "started": self.started,
+            "duration_seconds": self.duration,
+            "wall_time": self.wall_time,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _Span:
+    """A live span handed out by :meth:`Tracer.span`.
+
+    Attributes may be attached mid-flight with :meth:`set`; the span records
+    itself into its tracer when the context manager exits.
+    """
+
+    __slots__ = ("name", "attributes", "started")
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.started = time.perf_counter()
+
+    def set(self, **attributes: object) -> None:
+        """Attach (or overwrite) span attributes."""
+        self.attributes.update(attributes)
+
+
+class Tracer:
+    """A bounded, thread-safe buffer of trace events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; recording beyond it drops the *oldest*
+        events (the buffer is a ring) and counts them in :attr:`dropped`,
+        so a forgotten long-running trace degrades instead of exhausting
+        memory.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._events: Deque[TraceEvent] = deque()
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the buffer was full."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        name: str,
+        started: float,
+        duration: float,
+        **attributes: object,
+    ) -> TraceEvent:
+        """Record one already-measured span and return its event."""
+        event = TraceEvent(
+            name=name,
+            started=started,
+            duration=duration,
+            wall_time=time.time(),
+            attributes=attributes,
+        )
+        self.append(event)
+        return event
+
+    def append(self, event: TraceEvent) -> None:
+        """Add one pre-built event (used when merging worker-side events)."""
+        with self._lock:
+            if len(self._events) >= self._capacity:
+                self._events.popleft()
+                self._dropped += 1
+            self._events.append(event)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Merge a sequence of pre-built events (e.g. from a pool worker)."""
+        for event in events:
+            self.append(event)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[_Span]:
+        """Measure a block as one span; always records, even on exceptions.
+
+        The span records even when the block raises so a trace never shows
+        a phase silently vanishing; the exception propagates unchanged.
+        """
+        live = _Span(name, dict(attributes))
+        try:
+            yield live
+        finally:
+            self.record(
+                live.name,
+                live.started,
+                time.perf_counter() - live.started,
+                **live.attributes,
+            )
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """A point-in-time copy of the retained events (oldest first)."""
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> List[TraceEvent]:
+        """Return the retained events (oldest first) and clear the buffer."""
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+            return events
+
+    def clear(self) -> None:
+        """Drop every retained event and reset the dropped counter."""
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, sink: Union[str, io.TextIOBase]) -> int:
+        """Write the retained events as JSON lines; returns the event count.
+
+        ``sink`` is a path (written atomically enough for offline analysis:
+        truncate + write) or an open text handle.  Events stay in the
+        buffer — pair with :meth:`drain` for incremental exports.
+        """
+        events = self.events()
+        if isinstance(sink, str):
+            with open(sink, "w", encoding="utf-8") as handle:
+                return self._write_jsonl(handle, events)
+        return self._write_jsonl(sink, events)
+
+    @staticmethod
+    def _write_jsonl(handle, events: List[TraceEvent]) -> int:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True))
+            handle.write("\n")
+        return len(events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(events={len(self)}, capacity={self._capacity}, "
+            f"dropped={self.dropped})"
+        )
+
+
+class _NoopSpan:
+    """The span handed out by :class:`NoopTracer` — attribute sink only."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """A tracer that records nothing.
+
+    Drop-in for :class:`Tracer` anywhere a tracer is *required*; code that
+    takes ``tracer=None`` (the EVE driver, the engine) should prefer the
+    ``None`` check — it is one comparison instead of a method call.
+    """
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+
+    def record(self, name, started, duration, **attributes) -> Optional[TraceEvent]:
+        return None
+
+    def append(self, event: TraceEvent) -> None:
+        pass
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[_NoopSpan]:
+        yield _NOOP_SPAN
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def drain(self) -> List[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def export_jsonl(self, sink) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NoopTracer()"
+
+
+#: Shared no-op instance for callers that need *a* tracer object.
+NOOP_TRACER = NoopTracer()
