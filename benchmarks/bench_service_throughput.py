@@ -156,7 +156,7 @@ def _assert_zero_per_query_allocation(engine: SPGEngine, max_workers: int) -> No
     stats = engine.stats_snapshot()
     assert stats["errors"] == 0
     computed = stats["cache_misses"]
-    for prefix in ("scratch", "propagation_scratch"):
+    for prefix in ("scratch", "propagation_scratch", "verification_scratch"):
         allocations = stats[f"{prefix}_allocations"]
         reuses = stats[f"{prefix}_reuses"]
         assert allocations + reuses == computed, (

@@ -7,9 +7,10 @@ module fixes the persistence half: one small, schema-versioned JSON
 snapshot per PR, committed at the repo root as ``BENCH_<pr>.json`` and
 validated by CI, holding
 
-* **kernel** entries — best-of-``repeats`` wall time of the two hot
-  kernels the benchmark suite tracks (the CSR distance-index build and the
-  halo-free whole-graph backward BFS);
+* **kernel** entries — best-of-``repeats`` wall time of the hot kernels
+  the benchmark suite tracks (the CSR distance-index build, the halo-free
+  whole-graph backward BFS, and the flat explicit-stack verification
+  search);
 * **phase** entries — per-EVE-phase latency aggregates (p50 and cumulative
   seconds per :data:`repro.core.result.PHASE_NAMES` entry) from a served
   workload, read straight out of :class:`repro.service.stats.EngineStats`;
@@ -132,6 +133,57 @@ def collect_snapshot(
             "ms",
         )
     )
+
+    # Verification kernel: prepare + Section 5.3 ordering + explicit-stack
+    # search per upper-bound graph, mirroring
+    # benchmarks/bench_fig13b_verification.py (the k >= 6 ordering gate is
+    # the production policy in repro.core.eve).
+    from repro.core.essential import propagate_backward, propagate_forward
+    from repro.core.labeling import compute_upper_bound
+    from repro.core.verification import prepare_verification
+
+    verification_uppers = []
+    for source, target, k in kernel_queries:
+        if k < 5:
+            continue
+        index = compute_distance_index(
+            graph, source, target, k, strategy="adaptive", scratch=scratch
+        )
+        forward = propagate_forward(
+            graph, source, target, k, distances=index, scratch=scratch.essential
+        )
+        backward = propagate_backward(
+            graph, source, target, k, distances=index, scratch=scratch.essential
+        )
+        upper = compute_upper_bound(
+            graph, source, target, k, index, forward, backward
+        )
+        if upper.undetermined_edges:
+            verification_uppers.append(upper)
+        if len(verification_uppers) >= 20:
+            break
+    if verification_uppers:
+        best_verification = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for upper in verification_uppers:
+                prepared = prepare_verification(
+                    upper, scratch=scratch.verification
+                )
+                if upper.k >= 6:
+                    prepared.apply_search_ordering()
+                prepared.verify()
+            best_verification = min(
+                best_verification, time.perf_counter() - started
+            )
+        entries.append(
+            _entry(
+                "kernel.verification.best_ms_per_query",
+                "kernel",
+                best_verification * 1000.0 / len(verification_uppers),
+                "ms",
+            )
+        )
 
     # Served workload: phase and serving aggregates from EngineStats.
     with SPGEngine(graph, cache_size=0, executor_backend="serial") as engine:

@@ -7,8 +7,10 @@ s-t simple path graph ``SPG_k(s, t)`` in three phases:
    shortest distances and essential-vertex propagation (Section 3).
 2. :mod:`repro.core.labeling` — edge labelling and the upper-bound graph
    ``SPGu_k(s, t)`` (Section 4).
-3. :mod:`repro.core.verification` — DFS-oriented verification of
-   undetermined edges with tuned search orders (Section 5).
+3. :mod:`repro.core.verification` — explicit-stack verification of
+   undetermined edges over flat CSR slices, with tuned search orders
+   (Section 5); the dict/recursive form is retained as the oracle in
+   :mod:`repro.core.verification_reference`.
 
 The user-facing entry points are :class:`repro.core.eve.EVE` and the
 convenience function :func:`repro.core.eve.build_spg`.

@@ -39,9 +39,9 @@ from repro.core.labeling import compute_upper_bound
 from repro.core.result import PhaseStats, SimplePathGraphResult
 from repro.core.space import SpaceMeter
 from repro.core.verification import (
+    VerificationScratch,
     VerificationStats,
-    order_adjacency,
-    verify_undetermined_edges,
+    prepare_verification,
 )
 from repro.exceptions import QueryError
 from repro.graph.digraph import DiGraph
@@ -56,17 +56,20 @@ class QueryScratch(DistanceScratch):
     Extends :class:`~repro.core.distances.DistanceScratch` (so it is
     accepted anywhere a distance scratch is) with the
     :class:`~repro.core.essential.EssentialScratch` of the propagation
-    phase.  :class:`repro.service.ScratchPool` pools these, which is what
-    makes *both* the distance and the propagation phase allocation-free on
-    the batch serving path; :meth:`EVE.query` picks the essential side up
+    phase and the :class:`~repro.core.verification.VerificationScratch` of
+    the ordering + verification phases.  :class:`repro.service.ScratchPool`
+    pools these, which is what makes the distance, propagation *and*
+    verification phases allocation-free on the batch serving path;
+    :meth:`EVE.query` picks the essential and verification sides up
     automatically when handed one.
     """
 
-    __slots__ = ("essential",)
+    __slots__ = ("essential", "verification")
 
     def __init__(self) -> None:
         super().__init__()
         self.essential = EssentialScratch()
+        self.verification = VerificationScratch()
 
 
 @dataclass(frozen=True)
@@ -136,6 +139,7 @@ class EVE:
         shared_backward: Optional[BackwardDistanceMap] = None,
         scratch: Optional[DistanceScratch] = None,
         essential_scratch: Optional[EssentialScratch] = None,
+        verification_scratch: Optional[VerificationScratch] = None,
         tracer: Optional[Tracer] = None,
     ) -> SimplePathGraphResult:
         """Return ``SPG_k(source, target)`` (exact unless ``verify=False``).
@@ -147,11 +151,13 @@ class EVE:
         optionally supplies reusable distance buffers (see
         :class:`repro.core.distances.DistanceScratch`) and
         ``essential_scratch`` reusable propagation buffers (see
-        :class:`repro.core.essential.EssentialScratch`) so repeated queries
-        skip per-query allocation; when ``scratch`` is a
-        :class:`QueryScratch` its essential side is used automatically.  A
-        scratch must not be shared by concurrent queries.  The answer is
-        identical with or without any of them.
+        :class:`repro.core.essential.EssentialScratch`) and
+        ``verification_scratch`` reusable verification buffers (see
+        :class:`repro.core.verification.VerificationScratch`) so repeated
+        queries skip per-query allocation; when ``scratch`` is a
+        :class:`QueryScratch` its essential and verification sides are used
+        automatically.  A scratch must not be shared by concurrent queries.
+        The answer is identical with or without any of them.
 
         ``tracer`` optionally records one ``phase.<name>`` span per executed
         phase plus one ``query`` summary span.  Phases are already timed for
@@ -163,6 +169,8 @@ class EVE:
         config = self.config
         if essential_scratch is None:
             essential_scratch = getattr(scratch, "essential", None)
+        if verification_scratch is None:
+            verification_scratch = getattr(scratch, "verification", None)
         space = SpaceMeter()
         phases = PhaseStats()
 
@@ -249,20 +257,27 @@ class EVE:
 
         verification_stats = VerificationStats() if tracer is not None else None
         if config.verify:
+            prepared = None
             if config.search_ordering and k >= 6:
-                # For k = 5 the DFS never expands (Section 5.3), so ordering
-                # would be pure overhead.
+                # For k = 5 the search never expands (Section 5.3), so
+                # ordering would be pure overhead.  Materialising the flat
+                # slices is part of this phase when ordering runs.
                 started = time.perf_counter()
-                order_adjacency(upper)
+                prepared = prepare_verification(
+                    upper, scratch=verification_scratch
+                )
+                prepared.apply_search_ordering()
                 phases.ordering_seconds = time.perf_counter() - started
                 if tracer is not None:
                     tracer.record(
                         "phase.ordering", started, phases.ordering_seconds
                     )
             started = time.perf_counter()
-            edges = verify_undetermined_edges(
-                upper, space=space, stats=verification_stats
-            )
+            if prepared is None:
+                prepared = prepare_verification(
+                    upper, scratch=verification_scratch
+                )
+            edges = prepared.verify(space=space, stats=verification_stats)
             phases.verification_seconds = time.perf_counter() - started
             if tracer is not None:
                 tracer.record(

@@ -1,0 +1,208 @@
+"""Reference implementation of the verification phase (Section 5).
+
+This is the dict-adjacency, recursive-DFS Algorithm 3 that served as
+``repro.core.verification`` before the flat rewrite, retained as the
+property-test oracle and benchmark baseline — exactly like
+:mod:`repro.core.distances_reference`, :mod:`repro.core.essential_reference`
+and :mod:`repro.core.labeling_reference` for the earlier phases.  The
+differential harness in ``tests/test_flat_verification.py`` holds the flat
+kernel and this module confirmed-edge-set identical on randomized graphs
+across ``k``, distance strategies and every executor backend.
+
+Two behavioural fixes are shared with the flat path rather than frozen at
+the old behaviour, because they change observable counters/ordering and the
+oracle must agree with the rewrite:
+
+* ``VerificationStats.edges_confirmed`` is counted incrementally as stacks
+  commit, instead of the old ``O(|undetermined|)`` post-pass recount;
+* :func:`order_adjacency` precomputes one sort key per neighbour (the old
+  closure keys did two dict lookups per comparison) and breaks ties on the
+  vertex id, making the resulting order a pure function of the upper-bound
+  graph rather than of the incoming adjacency order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro._types import Edge, Vertex
+from repro.core.labeling import UpperBoundGraph
+from repro.core.space import SpaceMeter
+from repro.core.verification import VerificationStats
+
+__all__ = [
+    "verify_undetermined_edges_reference",
+    "order_adjacency_reference",
+    "multi_source_bfs_reference",
+]
+
+
+def multi_source_bfs_reference(
+    adjacency: Dict[Vertex, List[Vertex]], sources: Iterable[Vertex]
+) -> Dict[Vertex, int]:
+    """BFS distance from the nearest of ``sources`` over ``adjacency``.
+
+    Equivalent to the paper's "virtual vertex r connected to all departures"
+    trick: one BFS gives every vertex its distance from the closest source.
+    """
+    distances: Dict[Vertex, int] = {}
+    queue: deque = deque()
+    for source in sources:
+        if source not in distances:
+            distances[source] = 0
+            queue.append(source)
+    while queue:
+        vertex = queue.popleft()
+        depth = distances[vertex] + 1
+        for neighbor in adjacency.get(vertex, ()):
+            if neighbor not in distances:
+                distances[neighbor] = depth
+                queue.append(neighbor)
+    return distances
+
+
+def order_adjacency_reference(upper: UpperBoundGraph) -> None:
+    """Re-order the upper-bound adjacency lists per Section 5.3 (in place).
+
+    Out-neighbours are sorted by ascending distance to the closest arrival;
+    among arrivals themselves (distance 0) larger ``|Out_A|`` comes first.
+    In-neighbours are sorted by ascending distance from the closest
+    departure; among departures larger ``|In_D|`` comes first.  Remaining
+    ties break on the vertex id, so the order is deterministic whatever
+    order the adjacency lists arrive in.
+    """
+    infinity = float("inf")
+    # Distance *to* the closest arrival along forward edges equals a BFS from
+    # all arrivals over reversed (in-)adjacency.
+    to_arrival = multi_source_bfs_reference(upper.in_adjacency, upper.arrivals.keys())
+    from_departure = multi_source_bfs_reference(
+        upper.out_adjacency, upper.departures.keys()
+    )
+
+    arrivals = upper.arrivals
+    departures = upper.departures
+    out_key: Dict[Vertex, Tuple[float, int, Vertex]] = {}
+    in_key: Dict[Vertex, Tuple[float, int, Vertex]] = {}
+    for vertex in set(upper.out_adjacency) | set(upper.in_adjacency):
+        distance = to_arrival.get(vertex, infinity)
+        tie_break = -len(arrivals.get(vertex, ())) if distance == 0 else 0
+        out_key[vertex] = (distance, tie_break, vertex)
+        distance = from_departure.get(vertex, infinity)
+        tie_break = -len(departures.get(vertex, ())) if distance == 0 else 0
+        in_key[vertex] = (distance, tie_break, vertex)
+
+    for neighbors in upper.out_adjacency.values():
+        neighbors.sort(key=out_key.__getitem__)
+    for neighbors in upper.in_adjacency.values():
+        neighbors.sort(key=in_key.__getitem__)
+
+
+def verify_undetermined_edges_reference(
+    upper: UpperBoundGraph,
+    space: Optional[SpaceMeter] = None,
+    stats: Optional[VerificationStats] = None,
+) -> Set[Edge]:
+    """Run Algorithm 3 and return the exact edge set of ``SPG_k(s, t)``.
+
+    The result always contains every definite edge; each undetermined edge
+    is added exactly when a valid path per Theorem 5.6 exists.  When
+    ``stats`` is given the search fills its work counters; like ``space``,
+    passing ``None`` keeps the accounting entirely off the hot path.
+    """
+    source, target, k = upper.source, upper.target, upper.k
+    confirmed: Set[Edge] = set(upper.definite_edges)
+    if k < 5 or not upper.undetermined_edges:
+        return confirmed
+
+    departures = upper.departures
+    arrivals = upper.arrivals
+    out_adjacency = upper.out_adjacency
+    in_adjacency = upper.in_adjacency
+    max_internal_hops = k - 4
+
+    stack_vertices: Set[Vertex] = set()
+    stack_edges: List[Edge] = []
+
+    def try_add_edges(departure: Vertex, arrival: Vertex) -> bool:
+        """Check requirement (2) of Theorem 5.6 and commit the stack."""
+        valid_in = [x for x in departures.get(departure, ()) if x not in stack_vertices]
+        valid_out = [y for y in arrivals.get(arrival, ()) if y not in stack_vertices]
+        if not valid_in or not valid_out:
+            return False
+        for x in valid_in:
+            for y in valid_out:
+                if x != y:
+                    # Count newly confirmed edges as the stack commits, by
+                    # size delta; every stack edge is an upper-bound edge and
+                    # the definite ones are in ``confirmed`` from the start,
+                    # so each addition is one undetermined edge settling.
+                    if stats is None:
+                        confirmed.update(stack_edges)
+                    else:
+                        before = len(confirmed)
+                        confirmed.update(stack_edges)
+                        stats.edges_confirmed += len(confirmed) - before
+                    return True
+        return False
+
+    def backward(current: Vertex, hops: int, arrival: Vertex) -> bool:
+        """Extend the path backwards from ``current`` towards a departure."""
+        if current in departures and try_add_edges(current, arrival):
+            return True
+        if hops < max_internal_hops:
+            for previous in in_adjacency.get(current, ()):
+                if previous in stack_vertices:
+                    continue
+                if stats is not None:
+                    stats.expansions += 1
+                stack_vertices.add(previous)
+                stack_edges.append((previous, current))
+                if space is not None:
+                    space.allocate(1, category="verification-stack")
+                found = backward(previous, hops + 1, arrival)
+                if space is not None:
+                    space.release(1, category="verification-stack")
+                if found:
+                    return True
+                stack_vertices.discard(previous)
+                stack_edges.pop()
+        return False
+
+    def forward(current: Vertex, hops: int, back_anchor: Vertex) -> bool:
+        """Extend the path forwards from ``current`` towards an arrival."""
+        if current in arrivals and backward(back_anchor, hops, current):
+            return True
+        if hops < max_internal_hops:
+            for nxt in out_adjacency.get(current, ()):
+                if nxt in stack_vertices:
+                    continue
+                if stats is not None:
+                    stats.expansions += 1
+                stack_vertices.add(nxt)
+                stack_edges.append((current, nxt))
+                if space is not None:
+                    space.allocate(1, category="verification-stack")
+                found = forward(nxt, hops + 1, back_anchor)
+                if space is not None:
+                    space.release(1, category="verification-stack")
+                if found:
+                    return True
+                stack_vertices.discard(nxt)
+                stack_edges.pop()
+        return False
+
+    for edge in sorted(upper.undetermined_edges):
+        if edge in confirmed:
+            continue
+        if stats is not None:
+            stats.edges_checked += 1
+        u, v = edge
+        stack_vertices = {u, v, source, target}
+        stack_edges = [edge]
+        if space is not None:
+            space.allocate(5, category="verification-stack")
+        forward(v, 1, u)
+        if space is not None:
+            space.release(5, category="verification-stack")
+    return confirmed

@@ -428,8 +428,8 @@ def _scratch_counter_delta(
 ) -> Dict[str, int]:
     """The :meth:`EngineStats.merge_counters` delta one task caused.
 
-    A :class:`~repro.core.eve.QueryScratch` bundle carries both the
-    distance and the propagation buffers, so one checkout counts once under
+    A :class:`~repro.core.eve.QueryScratch` bundle carries the distance,
+    propagation and verification buffers, so one checkout counts once under
     each counter pair — mirroring what an engine-attached pool records.
     """
     allocations = pool.allocations - allocations_before
@@ -438,9 +438,11 @@ def _scratch_counter_delta(
     if allocations:
         counters["scratch_allocations"] = allocations
         counters["propagation_scratch_allocations"] = allocations
+        counters["verification_scratch_allocations"] = allocations
     if reuses:
         counters["scratch_reuses"] = reuses
         counters["propagation_scratch_reuses"] = reuses
+        counters["verification_scratch_reuses"] = reuses
     return counters
 
 

@@ -5,11 +5,15 @@ The CSR distance kernel (:mod:`repro.core.distances`) runs on flat
 :class:`~repro.core.distances.DistanceScratch`, and the essential-vertex
 propagation kernel (:mod:`repro.core.essential`) runs on the flat
 per-vertex entry/working-set buffers of an
-:class:`~repro.core.essential.EssentialScratch`.  Allocating either per
-query would cost O(num_vertices) per cache miss; :class:`ScratchPool`
-keeps them alive between queries instead, bundled as
+:class:`~repro.core.essential.EssentialScratch`, and the explicit-stack
+verification kernel (:mod:`repro.core.verification`) runs on the CSR
+slice/frame buffers of a
+:class:`~repro.core.verification.VerificationScratch`.  Allocating any of
+them per query would cost O(num_vertices) per cache miss;
+:class:`ScratchPool` keeps them alive between queries instead, bundled as
 :class:`~repro.core.eve.QueryScratch` objects (a ``DistanceScratch`` that
-also carries the essential side, so one checkout covers every phase).
+also carries the essential and verification sides, so one checkout covers
+every phase).
 Workers borrow a scratch for the duration of one query and return it; the
 epoch-stamp reset makes reuse O(1), so a warmed-up engine answers cache
 misses without allocating any distance, visited-mark or propagation
@@ -39,10 +43,11 @@ class ScratchPool:
     stats:
         Optional :class:`repro.service.stats.EngineStats`; every acquire is
         then recorded as a scratch allocation or reuse — once under the
-        distance counters and once under the propagation counters, since a
-        bundle carries both phases' buffers — which is how the throughput
-        and labelling benchmarks assert the batch path allocates no
-        per-query distance *or* propagation buffers.
+        distance counters, once under the propagation counters and once
+        under the verification counters, since a bundle carries every
+        phase's buffers — which is how the throughput, labelling and
+        verification benchmarks assert the batch path allocates no
+        per-query distance, propagation *or* verification buffers.
     """
 
     def __init__(self, stats: Optional[object] = None) -> None:
@@ -88,6 +93,7 @@ class ScratchPool:
         if not record_locally:
             self._stats.record_scratch(reused=reused)
             self._stats.record_propagation_scratch(reused=reused)
+            self._stats.record_verification_scratch(reused=reused)
         return scratch
 
     def release(self, scratch: QueryScratch) -> None:

@@ -187,6 +187,8 @@ _MERGEABLE_COUNTERS = frozenset(
         "scratch_reuses",
         "propagation_scratch_allocations",
         "propagation_scratch_reuses",
+        "verification_scratch_allocations",
+        "verification_scratch_reuses",
         "sharded_backward_passes",
     }
 )
@@ -220,6 +222,8 @@ class EngineStats:
         self.scratch_reuses = 0
         self.propagation_scratch_allocations = 0
         self.propagation_scratch_reuses = 0
+        self.verification_scratch_allocations = 0
+        self.verification_scratch_reuses = 0
 
     # ------------------------------------------------------------------
     def record_query(
@@ -313,6 +317,28 @@ class EngineStats:
             else:
                 self.propagation_scratch_allocations += 1
 
+    def record_verification_scratch(self, *, reused: bool) -> None:
+        """Record one verification scratch checkout.
+
+        The verification twin of :meth:`record_scratch` and
+        :meth:`record_propagation_scratch`: the pooled
+        :class:`repro.core.eve.QueryScratch` bundles carry the
+        :class:`~repro.core.verification.VerificationScratch` too, so every
+        executed query checks out exactly one set of verification buffers
+        (with ``verify=True`` the verification phase runs for every
+        computed query — small ``k`` early-exits inside the kernel), and
+        ``verification_scratch_allocations + verification_scratch_reuses ==
+        cache_misses`` with allocations bounded by the peak number of
+        concurrent workers — the "zero per-query verification allocation"
+        property the verification kernel benchmark asserts.  Worker-side
+        checkouts arrive via :meth:`merge_counters` like the other pairs.
+        """
+        with self._lock:
+            if reused:
+                self.verification_scratch_reuses += 1
+            else:
+                self.verification_scratch_allocations += 1
+
     def merge_counters(self, counters: Mapping[str, int]) -> None:
         """Fold a worker-side counter delta into these stats.
 
@@ -374,6 +400,8 @@ class EngineStats:
                 "scratch_reuses": self.scratch_reuses,
                 "propagation_scratch_allocations": self.propagation_scratch_allocations,
                 "propagation_scratch_reuses": self.propagation_scratch_reuses,
+                "verification_scratch_allocations": self.verification_scratch_allocations,
+                "verification_scratch_reuses": self.verification_scratch_reuses,
                 "p50_ms": self._latencies.quantile(0.50) * 1000.0,
                 "p95_ms": self._latencies.quantile(0.95) * 1000.0,
                 "p99_ms": self._latencies.quantile(0.99) * 1000.0,
@@ -439,6 +467,16 @@ class EngineStats:
                     "Propagation scratch buffers reused from the pool.",
                     self.propagation_scratch_reuses,
                 ),
+                (
+                    "repro_verification_scratch_allocations_total",
+                    "Verification scratch buffers allocated.",
+                    self.verification_scratch_allocations,
+                ),
+                (
+                    "repro_verification_scratch_reuses_total",
+                    "Verification scratch buffers reused from the pool.",
+                    self.verification_scratch_reuses,
+                ),
             ):
                 lines.extend(render_counter(name, help_text, value))
             lines.extend(
@@ -490,6 +528,8 @@ class EngineStats:
             self.scratch_reuses = 0
             self.propagation_scratch_allocations = 0
             self.propagation_scratch_reuses = 0
+            self.verification_scratch_allocations = 0
+            self.verification_scratch_reuses = 0
 
     def __repr__(self) -> str:
         return (

