@@ -210,6 +210,11 @@ def collect_snapshot(
     entries.append(_entry("serving.p50_ms", "serving", snapshot["p50_ms"], "ms"))
     entries.append(_entry("serving.p95_ms", "serving", snapshot["p95_ms"], "ms"))
 
+    # HTTP serving: the same workload through the asyncio front end
+    # (admission + coalescer + hand-rolled HTTP/1.1 on loopback), so the
+    # trajectory tracks end-to-end serving overhead, not just engine time.
+    entries.extend(_measure_http_serving(graph, queries[: min(len(queries), 100)]))
+
     data = {
         "schema_version": SCHEMA_VERSION,
         "pr": int(pr),
@@ -225,6 +230,72 @@ def collect_snapshot(
     }
     validate_snapshot(data)
     return data
+
+
+def _measure_http_serving(graph, queries) -> List[Dict[str, object]]:
+    """Measure the HTTP front end on loopback: one burst of single queries.
+
+    Boots an ephemeral-port :class:`~repro.service.http.server.HTTPFrontend`
+    over a serial engine, fires every query concurrently through
+    ``POST /query`` (own connection each, like independent clients), and
+    reports end-to-end throughput, p99 latency and shed rate.  The queue
+    bound is sized to the burst so the healthy-path numbers are not
+    polluted by shedding — overload behaviour is the load generator's job
+    (``benchmarks/loadgen.py``), not the trajectory's.
+    """
+    import asyncio
+    import json as json_module
+
+    from repro.service.engine import SPGEngine
+    from repro.service.http import HTTPConfig, HTTPFrontend
+    from repro.service.http.client import request
+
+    async def measure() -> Dict[str, float]:
+        engine = SPGEngine(graph, cache_size=0, executor_backend="serial")
+        frontend = HTTPFrontend(
+            engine, config=HTTPConfig(port=0, max_queue_depth=max(len(queries), 1))
+        )
+        address = await frontend.start()
+        latencies: List[float] = []
+        shed = 0
+
+        async def one(query) -> None:
+            nonlocal shed
+            body = json_module.dumps(
+                {"source": query[0], "target": query[1], "k": query[2]}
+            ).encode("utf-8")
+            fired = time.perf_counter()
+            response = await request(address, None, "POST", "/query", body=body)
+            if response.status == 429:
+                shed += 1
+            else:
+                latencies.append((time.perf_counter() - fired) * 1000.0)
+
+        try:
+            started = time.perf_counter()
+            await asyncio.gather(*(one(query) for query in queries))
+            wall = time.perf_counter() - started
+        finally:
+            await frontend.shutdown(10.0)
+            engine.close()
+        latencies.sort()
+        p99 = (
+            latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+            if latencies
+            else 0.0
+        )
+        return {
+            "throughput_qps": len(latencies) / wall if wall > 0 else 0.0,
+            "p99_ms": p99,
+            "shed_rate": shed / len(queries) if queries else 0.0,
+        }
+
+    measured = asyncio.run(measure())
+    return [
+        _entry("serving.http.throughput_qps", "serving", measured["throughput_qps"], "qps"),
+        _entry("serving.http.p99_ms", "serving", measured["p99_ms"], "ms"),
+        _entry("serving.http.shed_rate", "serving", measured["shed_rate"], "ratio"),
+    ]
 
 
 def validate_snapshot(data: object) -> None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.distances import DISTANCE_STRATEGIES
 from repro.datasets.registry import dataset_names, load_dataset
@@ -33,7 +33,7 @@ from repro.exceptions import ReproError
 from repro.graph.io import load_graph
 from repro.service.engine import EngineConfig, QueryOutcome, SPGEngine
 from repro.service.executor import EXECUTOR_BACKENDS
-from repro.service.workload_io import read_queries, write_outcome
+from repro.service.workload_io import read_queries, translate_queries, write_outcome
 from repro.telemetry import Tracer
 
 __all__ = ["build_parser", "main"]
@@ -156,25 +156,27 @@ def _load_graph(args: argparse.Namespace):
     return load_graph(args.edges)
 
 
-def _translate(raw_queries, builder) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, str]]]:
-    """Map raw query endpoints to dense vertex ids.
+def _export_telemetry(args: argparse.Namespace, engine: SPGEngine) -> None:
+    """Write ``--stats`` / ``--metrics-out`` / ``--trace-out`` outputs.
 
-    Returns ``(indexed good queries, per-index translation errors)`` so a
-    query with an unknown label fails alone, like any other bad query.
+    Called from a ``finally`` around the serving block: an exception inside
+    ``engine.run_batch`` must not lose the telemetry collected up to the
+    failure — that is exactly when it is most needed.
     """
-    good: List[Tuple[int, int, int]] = []
-    failed: List[Tuple[int, str]] = []
-    for index, (source, target, k) in enumerate(raw_queries):
-        try:
-            if builder is not None:
-                mapped = (builder.vertex_id(str(source)), builder.vertex_id(str(target)), k)
-            else:
-                mapped = (int(source), int(target), k)
-        except (ReproError, KeyError, TypeError, ValueError) as exc:
-            failed.append((index, f"{type(exc).__name__}: {exc}"))
-            continue
-        good.append(mapped)
-    return good, failed
+    if args.stats:
+        print(json.dumps(engine.stats_snapshot()), file=sys.stderr)
+    if args.metrics_out is not None:
+        exposition = engine.stats.to_prometheus()
+        if args.metrics_out == "-":
+            sys.stderr.write(exposition)
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(exposition)
+    if args.trace_out is not None and engine.tracer is not None:
+        if args.trace_out == "-":
+            engine.tracer.export_jsonl(sys.stderr)
+        else:
+            engine.tracer.export_jsonl(args.trace_out)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -212,44 +214,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out is not None:
         engine.tracer = Tracer()
 
-    translated, failed = _translate(raw_queries, builder)
-    with engine:
-        report = engine.run_batch(translated)
+    translated, failed = translate_queries(raw_queries, builder)
+    try:
+        with engine:
+            report = engine.run_batch(translated)
 
-    # Interleave engine outcomes with translation failures in input order.
-    # Engine outcomes use dense ids; map them back to the edge file's own
-    # labels when one was loaded.  Translation failures already carry the
-    # raw labels, so they are written without relabelling.
-    failures = {index: message for index, message in failed}
-    served = iter(report.outcomes)
-    include_edges = not args.no_edges
-    relabel = builder.vertex_label if builder is not None else None
-    for index, (raw_source, raw_target, k) in enumerate(raw_queries):
-        if index in failures:
-            outcome = QueryOutcome(
-                source=raw_source, target=raw_target, k=k, error=failures[index]
-            )
-            write_outcome(sys.stdout, outcome, include_edges=include_edges)
-        else:
-            outcome = next(served)
-            write_outcome(
-                sys.stdout, outcome, include_edges=include_edges, relabel=relabel
-            )
-
-    if args.stats:
-        print(json.dumps(engine.stats_snapshot()), file=sys.stderr)
-    if args.metrics_out is not None:
-        exposition = engine.stats.to_prometheus()
-        if args.metrics_out == "-":
-            sys.stderr.write(exposition)
-        else:
-            with open(args.metrics_out, "w", encoding="utf-8") as handle:
-                handle.write(exposition)
-    if args.trace_out is not None:
-        if args.trace_out == "-":
-            engine.tracer.export_jsonl(sys.stderr)
-        else:
-            engine.tracer.export_jsonl(args.trace_out)
+        # Interleave engine outcomes with translation failures in input
+        # order.  Engine outcomes use dense ids; map them back to the edge
+        # file's own labels when one was loaded.  Translation failures
+        # already carry the raw labels, so they are written without
+        # relabelling.
+        failures = {index: message for index, message in failed}
+        served = iter(report.outcomes)
+        include_edges = not args.no_edges
+        relabel = builder.vertex_label if builder is not None else None
+        for index, (raw_source, raw_target, k) in enumerate(raw_queries):
+            if index in failures:
+                outcome = QueryOutcome(
+                    source=raw_source, target=raw_target, k=k, error=failures[index]
+                )
+                write_outcome(sys.stdout, outcome, include_edges=include_edges)
+            else:
+                outcome = next(served)
+                write_outcome(
+                    sys.stdout, outcome, include_edges=include_edges, relabel=relabel
+                )
+    finally:
+        _export_telemetry(args, engine)
     return 0
 
 

@@ -1,0 +1,236 @@
+"""Admission control: bounded fan-in, per-tenant quotas, graceful drain.
+
+The front end admits every query through one :class:`AdmissionController`
+before it may touch the engine.  Three gates, checked in order:
+
+1. **drain** — a draining server admits nothing (503; in-flight work
+   finishes);
+2. **bounded queue** — the controller tracks admitted-but-unfinished
+   query cost; a request that would push the depth past the bound is shed
+   with 429 instead of joining an unbounded fan-in (overload degrades to
+   fast rejections, not collapse);
+3. **per-tenant token bucket** — each ``X-Tenant`` value gets a
+   :class:`TokenBucket`; an empty bucket is a 429 with a quota marker.
+
+Every decision is counted into the engine's
+:class:`~repro.service.stats.EngineStats` (``http_requests_admitted``,
+``http_requests_shed``, ``http_quota_rejections``,
+``http_drain_rejections``) and the depth gauge is updated on every
+admit/release, so ``/metrics`` exposes shed rate and queue depth live.
+
+The controller is event-loop-confined by design: it is only touched from
+request handlers on the server's loop, so the counters need no locking of
+their own (the stats object it reports into is independently
+thread-safe).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, Optional
+
+from repro.service.stats import EngineStats
+
+__all__ = [
+    "ADMITTED",
+    "SHED",
+    "QUOTA",
+    "DRAINING",
+    "TokenBucket",
+    "AdmissionController",
+]
+
+#: Admission decisions, also the :meth:`EngineStats.record_admission` keys.
+ADMITTED = "admitted"
+SHED = "shed"
+QUOTA = "quota"
+DRAINING = "draining"
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Starts full.  :meth:`try_acquire` refills lazily from the injected
+    monotonic clock, so idle buckets cost nothing and tests can drive time
+    by hand.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._updated = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after a lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        self._refill()
+        if tokens <= self._tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class AdmissionController:
+    """Bounded admission in front of the engine (see module docstring).
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Bound on the summed cost of admitted-but-released work.
+    stats:
+        The engine's :class:`EngineStats`; every decision and depth change
+        is recorded there (``None`` disables reporting, for unit tests).
+    tenant_rate, tenant_burst:
+        Per-tenant token-bucket parameters; ``tenant_rate=None`` disables
+        quota checking entirely.
+    clock:
+        Monotonic clock shared by every tenant bucket (injectable).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: int,
+        stats: Optional[EngineStats] = None,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if tenant_rate is not None and tenant_rate <= 0:
+            raise ValueError(f"tenant_rate must be > 0, got {tenant_rate}")
+        self._max_queue_depth = max_queue_depth
+        self._stats = stats
+        self._tenant_rate = tenant_rate
+        self._tenant_burst = (
+            tenant_burst
+            if tenant_burst is not None
+            else (max(tenant_rate, 1.0) if tenant_rate is not None else None)
+        )
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._depth = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Summed cost of admitted-but-unreleased work."""
+        return self._depth
+
+    @property
+    def max_queue_depth(self) -> int:
+        return self._max_queue_depth
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def bucket_for(self, tenant: str) -> Optional[TokenBucket]:
+        """The tenant's token bucket (``None`` when quotas are disabled)."""
+        if self._tenant_rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self._tenant_rate, self._tenant_burst, self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    # ------------------------------------------------------------------
+    def try_admit(self, tenant: str, cost: int = 1) -> str:
+        """Decide one request; returns an admission decision constant.
+
+        ``cost`` is the number of queries the request carries (1 for
+        ``/query``, the line count for ``/batch``); admitted cost must be
+        handed back via :meth:`release` when the response is done.  A
+        request whose cost alone exceeds the bound can never be admitted —
+        callers should split oversized batches.
+        """
+        if cost < 1:
+            raise ValueError(f"cost must be >= 1, got {cost}")
+        if self._draining:
+            return self._decide(DRAINING)
+        if self._depth + cost > self._max_queue_depth:
+            return self._decide(SHED)
+        bucket = self.bucket_for(tenant)
+        if bucket is not None and not bucket.try_acquire(cost):
+            return self._decide(QUOTA)
+        self._depth += cost
+        self._idle.clear()
+        self._report_depth()
+        return self._decide(ADMITTED)
+
+    def release(self, cost: int = 1) -> None:
+        """Hand back admitted cost once its response has been written."""
+        if cost > self._depth:
+            raise ValueError(
+                f"release of {cost} exceeds current queue depth {self._depth}"
+            )
+        self._depth -= cost
+        self._report_depth()
+        if self._depth == 0:
+            self._idle.set()
+
+    def _decide(self, decision: str) -> str:
+        if self._stats is not None:
+            self._stats.record_admission(decision)
+        return decision
+
+    def _report_depth(self) -> None:
+        if self._stats is not None:
+            self._stats.set_queue_depth(self._depth)
+
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted work continues to completion."""
+        self._draining = True
+        if self._depth == 0:
+            self._idle.set()
+
+    async def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the queue to empty; returns ``False`` on timeout."""
+        if timeout is not None and timeout <= 0:
+            return self._depth == 0
+        try:
+            if timeout is None:
+                await self._idle.wait()
+            else:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(depth={self._depth}/{self._max_queue_depth}, "
+            f"draining={self._draining}, tenants={len(self._buckets)})"
+        )

@@ -1,0 +1,145 @@
+"""Fold single HTTP queries into planner batches under a latency budget.
+
+Independent clients each send one query, but the engine's wins — shared
+``(t, k)`` backward passes, in-batch deduplication, one executor round
+trip — only materialise on *batches*.  The :class:`QueryCoalescer` holds
+the first query of a window for at most ``window_seconds`` and answers
+everything that arrived in the meantime with a single
+:meth:`~repro.service.engine.SPGEngine.run_batch_async` call, so planner
+batching works across connections, not just within one request.
+
+The trade is explicit: up to one window of added latency buys batch
+throughput.  ``max_batch`` caps both the added latency under load (a full
+batch flushes immediately) and the batch size handed to the planner.
+Event-loop-confined like the admission layer; per-query error isolation
+is inherited from the engine (an errored query resolves its own future
+with an errored outcome, not an exception).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Set, Tuple
+
+from repro.service.engine import QueryOutcome, SPGEngine
+
+__all__ = ["QueryCoalescer"]
+
+#: One pending entry: the normalised query and the future its HTTP
+#: request handler awaits.
+_Pending = Tuple[Tuple[int, int, int], "asyncio.Future[QueryOutcome]"]
+
+
+class QueryCoalescer:
+    """Batch single queries arriving within one latency window.
+
+    Parameters
+    ----------
+    engine:
+        The engine batches are run on (``run_batch_async``).
+    window_seconds:
+        Latency budget: how long the first query of a window may wait for
+        company.  ``0`` still coalesces arrivals of the same event-loop
+        tick.
+    max_batch:
+        Pending size that triggers an immediate flush.
+    """
+
+    def __init__(
+        self,
+        engine: SPGEngine,
+        *,
+        window_seconds: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError(f"window_seconds must be >= 0, got {window_seconds}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._engine = engine
+        self._window = window_seconds
+        self._max_batch = max_batch
+        self._pending: List[_Pending] = []
+        self._timer: Optional[asyncio.Task] = None
+        self._inflight: Set[asyncio.Task] = set()
+        self._closed = False
+        #: Flush/batch accounting for tests and the run-table harness.
+        self.batches_flushed = 0
+        self.queries_coalesced = 0
+
+    # ------------------------------------------------------------------
+    async def submit(self, query: Tuple[int, int, int]) -> QueryOutcome:
+        """Enqueue one normalised ``(s, t, k)`` query; await its outcome."""
+        if self._closed:
+            raise RuntimeError("coalescer is closed")
+        future: "asyncio.Future[QueryOutcome]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending.append((query, future))
+        if len(self._pending) >= self._max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = asyncio.create_task(self._flush_after_window())
+        return await future
+
+    @property
+    def pending(self) -> int:
+        """Queries waiting for the current window to flush."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Move the pending window into one engine batch task."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        task = asyncio.create_task(self._run_batch(batch))
+        # Keep a strong reference: the loop only holds tasks weakly.
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _flush_after_window(self) -> None:
+        try:
+            await asyncio.sleep(self._window)
+        except asyncio.CancelledError:
+            return
+        self._timer = None
+        batch, self._pending = self._pending, []
+        if batch:
+            task = asyncio.create_task(self._run_batch(batch))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        queries = [query for query, _ in batch]
+        try:
+            report = await self._engine.run_batch_async(queries)
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.batches_flushed += 1
+        self.queries_coalesced += len(batch)
+        for (_, future), outcome in zip(batch, report.outcomes):
+            # A future may be done already if its client disconnected and
+            # the handler cancelled it; the outcome is simply dropped.
+            if not future.done():
+                future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Flush the pending window and wait for every in-flight batch."""
+        self._closed = True
+        self._flush()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCoalescer(window={self._window}s, max_batch={self._max_batch}, "
+            f"pending={len(self._pending)}, flushed={self.batches_flushed})"
+        )

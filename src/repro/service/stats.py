@@ -224,6 +224,14 @@ class EngineStats:
         self.propagation_scratch_reuses = 0
         self.verification_scratch_allocations = 0
         self.verification_scratch_reuses = 0
+        # HTTP front-end admission accounting (repro.service.http): one
+        # decision per request, plus the bounded-queue depth gauge.
+        self.http_requests_admitted = 0
+        self.http_requests_shed = 0
+        self.http_quota_rejections = 0
+        self.http_drain_rejections = 0
+        self.http_queue_depth = 0
+        self.http_queue_depth_peak = 0
 
     # ------------------------------------------------------------------
     def record_query(
@@ -339,6 +347,40 @@ class EngineStats:
             else:
                 self.verification_scratch_allocations += 1
 
+    def record_admission(self, decision: str) -> None:
+        """Record one HTTP front-end admission decision.
+
+        ``decision`` is one of the :mod:`repro.service.http.admission`
+        outcomes: ``"admitted"``, ``"shed"`` (bounded queue full → 429),
+        ``"quota"`` (per-tenant token bucket empty → 429) or ``"draining"``
+        (graceful shutdown in progress → 503).  Unknown decisions raise so
+        a typo cannot silently drop a shed counter — under overload those
+        counters are the observability.
+        """
+        with self._lock:
+            if decision == "admitted":
+                self.http_requests_admitted += 1
+            elif decision == "shed":
+                self.http_requests_shed += 1
+            elif decision == "quota":
+                self.http_quota_rejections += 1
+            elif decision == "draining":
+                self.http_drain_rejections += 1
+            else:
+                raise ValueError(
+                    f"unknown admission decision {decision!r}; expected "
+                    f"'admitted', 'shed', 'quota' or 'draining'"
+                )
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Update the HTTP admission queue-depth gauge (and its peak)."""
+        if depth < 0:
+            raise ValueError(f"queue depth must be >= 0, got {depth}")
+        with self._lock:
+            self.http_queue_depth = depth
+            if depth > self.http_queue_depth_peak:
+                self.http_queue_depth_peak = depth
+
     def merge_counters(self, counters: Mapping[str, int]) -> None:
         """Fold a worker-side counter delta into these stats.
 
@@ -402,6 +444,12 @@ class EngineStats:
                 "propagation_scratch_reuses": self.propagation_scratch_reuses,
                 "verification_scratch_allocations": self.verification_scratch_allocations,
                 "verification_scratch_reuses": self.verification_scratch_reuses,
+                "http_requests_admitted": self.http_requests_admitted,
+                "http_requests_shed": self.http_requests_shed,
+                "http_quota_rejections": self.http_quota_rejections,
+                "http_drain_rejections": self.http_drain_rejections,
+                "http_queue_depth": self.http_queue_depth,
+                "http_queue_depth_peak": self.http_queue_depth_peak,
                 "p50_ms": self._latencies.quantile(0.50) * 1000.0,
                 "p95_ms": self._latencies.quantile(0.95) * 1000.0,
                 "p99_ms": self._latencies.quantile(0.99) * 1000.0,
@@ -477,6 +525,26 @@ class EngineStats:
                     "Verification scratch buffers reused from the pool.",
                     self.verification_scratch_reuses,
                 ),
+                (
+                    "repro_http_requests_admitted_total",
+                    "HTTP requests admitted past the bounded queue.",
+                    self.http_requests_admitted,
+                ),
+                (
+                    "repro_http_requests_shed_total",
+                    "HTTP requests shed with 429 (bounded queue full).",
+                    self.http_requests_shed,
+                ),
+                (
+                    "repro_http_quota_rejections_total",
+                    "HTTP requests rejected by a per-tenant quota (429).",
+                    self.http_quota_rejections,
+                ),
+                (
+                    "repro_http_drain_rejections_total",
+                    "HTTP requests rejected during graceful drain (503).",
+                    self.http_drain_rejections,
+                ),
             ):
                 lines.extend(render_counter(name, help_text, value))
             lines.extend(
@@ -484,6 +552,20 @@ class EngineStats:
                     "repro_cache_hit_ratio",
                     "Fraction of queries answered from cache.",
                     hit_rate,
+                )
+            )
+            lines.extend(
+                render_gauge(
+                    "repro_http_queue_depth",
+                    "Admitted HTTP queries currently in flight.",
+                    self.http_queue_depth,
+                )
+            )
+            lines.extend(
+                render_gauge(
+                    "repro_http_queue_depth_peak",
+                    "Peak in-flight HTTP queries since start.",
+                    self.http_queue_depth_peak,
                 )
             )
             bounds, cumulative, sum_seconds, count = self._latencies.histogram()
@@ -530,6 +612,12 @@ class EngineStats:
             self.propagation_scratch_reuses = 0
             self.verification_scratch_allocations = 0
             self.verification_scratch_reuses = 0
+            self.http_requests_admitted = 0
+            self.http_requests_shed = 0
+            self.http_quota_rejections = 0
+            self.http_drain_rejections = 0
+            self.http_queue_depth = 0
+            self.http_queue_depth_peak = 0
 
     def __repr__(self) -> str:
         return (

@@ -14,12 +14,14 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
 
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, ReproError
 
 __all__ = [
     "parse_query_line",
     "iter_query_lines",
     "read_queries",
+    "coerce_vertex_id",
+    "translate_queries",
     "outcome_record",
     "write_outcome",
 ]
@@ -69,6 +71,52 @@ def iter_query_lines(lines: Iterable[str]) -> Iterator[RawQuery]:
 def read_queries(handle: TextIO) -> List[RawQuery]:
     """Read every query from an open text stream."""
     return list(iter_query_lines(handle))
+
+
+def coerce_vertex_id(value: object) -> int:
+    """Coerce a raw query endpoint to a dense integer vertex id.
+
+    Accepts integers, integral floats (JSON encoders routinely emit ``5.0``
+    for 5) and integer strings.  Booleans and non-integral floats are
+    rejected: ``int(2.9)`` would silently answer for vertex 2 and
+    ``int(True)`` for vertex 1 — a different query than the caller wrote.
+    """
+    if isinstance(value, bool):
+        raise QueryError(f"vertex id must be an integer, got boolean {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise QueryError(f"vertex id must be integral, got {value!r}")
+        return int(value)
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"vertex id must be an integer, got {value!r}") from exc
+
+
+def translate_queries(
+    raw_queries: Iterable[RawQuery], builder=None
+) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, str]]]:
+    """Map raw query endpoints to dense vertex ids.
+
+    With a :class:`~repro.graph.builder.GraphBuilder` (an edge-list graph),
+    endpoints are the file's own labels; without one they must be integral
+    dense ids (see :func:`coerce_vertex_id`).  Returns ``(good queries,
+    per-index translation errors)`` so a query with an unknown label or a
+    non-integral endpoint fails alone, like any other bad query.
+    """
+    good: List[Tuple[int, int, int]] = []
+    failed: List[Tuple[int, str]] = []
+    for index, (source, target, k) in enumerate(raw_queries):
+        try:
+            if builder is not None:
+                mapped = (builder.vertex_id(str(source)), builder.vertex_id(str(target)), k)
+            else:
+                mapped = (coerce_vertex_id(source), coerce_vertex_id(target), k)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            failed.append((index, f"{type(exc).__name__}: {exc}"))
+            continue
+        good.append(mapped)
+    return good, failed
 
 
 def outcome_record(

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import tempfile
 import threading
 import time
 from collections import deque
@@ -208,15 +210,36 @@ class Tracer:
     def export_jsonl(self, sink: Union[str, io.TextIOBase]) -> int:
         """Write the retained events as JSON lines; returns the event count.
 
-        ``sink`` is a path (written atomically enough for offline analysis:
-        truncate + write) or an open text handle.  Events stay in the
-        buffer — pair with :meth:`drain` for incremental exports.
+        ``sink`` is a path or an open text handle.  Path writes are atomic:
+        events are serialised into a temporary file in the target directory
+        and ``os.replace``-d into place only once every event has been
+        written, so a crash (or an unserialisable span attribute) mid-write
+        leaves any previous export intact instead of destroying it with a
+        truncate-on-open.  Events stay in the buffer — pair with
+        :meth:`drain` for incremental exports.
         """
         events = self.events()
         if isinstance(sink, str):
-            with open(sink, "w", encoding="utf-8") as handle:
-                return self._write_jsonl(handle, events)
+            return self._export_path(sink, events)
         return self._write_jsonl(sink, events)
+
+    def _export_path(self, path: str, events: List[TraceEvent]) -> int:
+        """Serialise ``events`` to ``path`` via a same-directory temp file."""
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                count = self._write_jsonl(handle, events)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
+        os.replace(tmp_path, path)
+        return count
 
     @staticmethod
     def _write_jsonl(handle, events: List[TraceEvent]) -> int:

@@ -1,0 +1,652 @@
+"""Tests for the asyncio HTTP front end (repro.service.http).
+
+Covers the admission layer (token buckets, bounded queue, drain), the
+request coalescer, the HTTP server itself (routing, error statuses,
+framing limits, keep-alive), parity between ``POST /batch`` and the
+offline CLI on the same workload, overload behaviour (shed with 429,
+never 5xx, bounded queue depth), per-tenant quotas, cross-connection
+coalescing, graceful drain, and the ``/metrics`` exposition.
+
+No pytest-asyncio here: async tests run their coroutine with
+``asyncio.run`` from a sync test function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.graph.io import load_graph
+from repro.service.engine import QueryOutcome, SPGEngine
+from repro.service.http import (
+    ADMITTED,
+    DRAINING,
+    QUOTA,
+    SHED,
+    AdmissionController,
+    HTTPConfig,
+    HTTPConnection,
+    HTTPFrontend,
+    QueryCoalescer,
+    TokenBucket,
+    request,
+)
+from repro.service.stats import EngineStats
+from repro.telemetry import Tracer
+from repro.telemetry.prometheus import parse_exposition
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+#: Fields of an outcome record that legitimately differ between two runs
+#: of the same workload (timing and cache effects), stripped before
+#: comparing HTTP output against the offline CLI.
+VOLATILE_FIELDS = ("latency_ms", "cached", "reused_backward")
+
+
+def _stable(record):
+    return {key: value for key, value in record.items() if key not in VOLATILE_FIELDS}
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = lambda: 0.0  # noqa: E731 - fixed clock
+        bucket = TokenBucket(10.0, 3.0, clock)
+        assert bucket.tokens == 3.0
+        assert bucket.try_acquire() and bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate_capped_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(2.0, 4.0, lambda: now[0])
+        for _ in range(4):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        now[0] = 1.0  # 2 tokens refilled
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        now[0] = 100.0  # refill far past burst; capacity caps it
+        assert bucket.tokens == 4.0
+
+    def test_bulk_acquire_respects_balance(self):
+        bucket = TokenBucket(1.0, 5.0, lambda: 0.0)
+        assert bucket.try_acquire(5.0)
+        assert not bucket.try_acquire(0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Admission controller
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def test_admits_then_sheds_at_bound(self):
+        stats = EngineStats()
+        control = AdmissionController(max_queue_depth=2, stats=stats)
+        assert control.try_admit("a") == ADMITTED
+        assert control.try_admit("a") == ADMITTED
+        assert control.try_admit("a") == SHED
+        assert control.queue_depth == 2
+        control.release()
+        assert control.try_admit("a") == ADMITTED
+        assert stats.http_requests_admitted == 3
+        assert stats.http_requests_shed == 1
+        assert stats.http_queue_depth_peak == 2
+
+    def test_batch_cost_counts_against_bound(self):
+        control = AdmissionController(max_queue_depth=5)
+        assert control.try_admit("a", cost=4) == ADMITTED
+        assert control.try_admit("a", cost=2) == SHED
+        assert control.try_admit("a", cost=1) == ADMITTED
+        control.release(4)
+        control.release(1)
+        assert control.queue_depth == 0
+
+    def test_release_beyond_depth_raises(self):
+        control = AdmissionController(max_queue_depth=2)
+        control.try_admit("a")
+        with pytest.raises(ValueError):
+            control.release(2)
+
+    def test_tenant_quota_is_per_tenant(self):
+        now = [0.0]
+        stats = EngineStats()
+        control = AdmissionController(
+            max_queue_depth=100,
+            stats=stats,
+            tenant_rate=1.0,
+            tenant_burst=2.0,
+            clock=lambda: now[0],
+        )
+        assert control.try_admit("alpha") == ADMITTED
+        assert control.try_admit("alpha") == ADMITTED
+        assert control.try_admit("alpha") == QUOTA
+        assert control.try_admit("beta") == ADMITTED  # separate bucket
+        now[0] = 1.0  # one token refilled for alpha
+        assert control.try_admit("alpha") == ADMITTED
+        assert stats.http_quota_rejections == 1
+
+    def test_draining_rejects_before_everything(self):
+        stats = EngineStats()
+        control = AdmissionController(max_queue_depth=1, stats=stats)
+        control.try_admit("a")
+        control.begin_drain()
+        assert control.try_admit("a") == DRAINING
+        assert stats.http_drain_rejections == 1
+
+    def test_wait_drained_completes_on_release(self):
+        async def scenario():
+            control = AdmissionController(max_queue_depth=4)
+            control.try_admit("a", cost=3)
+            control.begin_drain()
+            assert not await control.wait_drained(0.01)
+            asyncio.get_running_loop().call_soon(control.release, 3)
+            assert await control.wait_drained(1.0)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Coalescer (against a fake engine: batching behaviour only)
+# ----------------------------------------------------------------------
+class _FakeEngine:
+    def __init__(self, fail=False):
+        self.batches = []
+        self.fail = fail
+
+    async def run_batch_async(self, queries):
+        self.batches.append(list(queries))
+        if self.fail:
+            raise RuntimeError("engine exploded")
+        outcomes = [
+            QueryOutcome(source=s, target=t, k=k, latency_seconds=0.0)
+            for s, t, k in queries
+        ]
+        return type("Report", (), {"outcomes": outcomes})()
+
+
+class TestQueryCoalescer:
+    def test_same_window_arrivals_share_one_batch(self):
+        async def scenario():
+            engine = _FakeEngine()
+            coalescer = QueryCoalescer(engine, window_seconds=0.05, max_batch=64)
+            outcomes = await asyncio.gather(
+                *(coalescer.submit((i, i + 1, 3)) for i in range(5))
+            )
+            assert [outcome.source for outcome in outcomes] == list(range(5))
+            assert coalescer.batches_flushed == 1
+            assert coalescer.queries_coalesced == 5
+            assert len(engine.batches) == 1 and len(engine.batches[0]) == 5
+            await coalescer.aclose()
+
+        asyncio.run(scenario())
+
+    def test_max_batch_flushes_immediately(self):
+        async def scenario():
+            engine = _FakeEngine()
+            coalescer = QueryCoalescer(engine, window_seconds=10.0, max_batch=2)
+            outcomes = await asyncio.gather(
+                *(coalescer.submit((i, i + 1, 3)) for i in range(4))
+            )
+            assert len(outcomes) == 4
+            # A 10s window can only have been beaten by the max-batch flush.
+            assert coalescer.batches_flushed == 2
+            assert all(len(batch) == 2 for batch in engine.batches)
+            await coalescer.aclose()
+
+        asyncio.run(scenario())
+
+    def test_engine_failure_fans_out_to_every_future(self):
+        async def scenario():
+            coalescer = QueryCoalescer(
+                _FakeEngine(fail=True), window_seconds=0.01, max_batch=64
+            )
+            results = await asyncio.gather(
+                *(coalescer.submit((i, i + 1, 3)) for i in range(3)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(result, RuntimeError) for result in results)
+            await coalescer.aclose()
+
+        asyncio.run(scenario())
+
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            coalescer = QueryCoalescer(_FakeEngine(), window_seconds=0.01)
+            await coalescer.aclose()
+            with pytest.raises(RuntimeError):
+                await coalescer.submit((0, 1, 2))
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# The HTTP server, end to end
+# ----------------------------------------------------------------------
+def _engine(graph, **kwargs):
+    kwargs.setdefault("executor_backend", "serial")
+    kwargs.setdefault("cache_size", 0)
+    return SPGEngine(graph, **kwargs)
+
+
+async def _booted(engine, builder=None, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    frontend = HTTPFrontend(
+        engine, builder=builder, config=HTTPConfig(**config_kwargs)
+    )
+    await frontend.start()
+    return frontend
+
+
+class TestHTTPFrontend:
+    def test_healthz_and_metrics(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    health = await request(frontend.address, path="/healthz")
+                    assert health.status == 200
+                    assert health.json()["status"] == "ok"
+
+                    metrics = await request(frontend.address, path="/metrics")
+                    assert metrics.status == 200
+                    assert metrics.headers["content-type"].startswith("text/plain")
+                    names = {s.name for s in parse_exposition(metrics.text)}
+                    assert "repro_http_requests_admitted_total" in names
+                    assert "repro_http_queue_depth" in names
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    def test_query_matches_offline_engine(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    body = json.dumps({"source": 0, "target": 7, "k": 4}).encode()
+                    response = await request(
+                        frontend.address, None, "POST", "/query", body=body
+                    )
+                    assert response.status == 200
+                    served = response.json()
+                finally:
+                    assert await frontend.shutdown(5.0)
+            with _engine(small_dense_graph) as reference_engine:
+                reference = reference_engine.run_batch([(0, 7, 4)]).outcomes[0]
+            assert served["ok"]
+            assert sorted(map(tuple, served["edges"])) == sorted(reference.edges)
+
+        asyncio.run(scenario())
+
+    def test_batch_parity_with_offline_cli(self, tmp_path):
+        """The HTTP /batch answers are the offline CLI's answers."""
+        workload = (
+            '{"source": 0, "target": 7, "k": 4}\n'
+            "3 9 4\n"
+            '{"source": 2.9, "target": 9, "k": 3}\n'  # translation failure
+            "0 7 4\n"  # duplicate
+        )
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--dataset",
+                "ps",
+                "--scale",
+                "0.08",
+                "--cache-size",
+                "0",
+            ],
+            input=workload,
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={"PYTHONPATH": str(SRC_DIR)},
+        )
+        assert completed.returncode == 0, completed.stderr
+        cli_records = [
+            _stable(json.loads(line)) for line in completed.stdout.splitlines()
+        ]
+
+        async def scenario():
+            from repro.datasets.registry import load_dataset
+
+            graph = load_dataset("ps", scale=0.08)
+            with _engine(graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    response = await request(
+                        frontend.address,
+                        None,
+                        "POST",
+                        "/batch",
+                        body=workload.encode(),
+                    )
+                    assert response.status == 200
+                    return [_stable(record) for record in response.json_lines()]
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        http_records = asyncio.run(scenario())
+        assert http_records == cli_records
+        assert not http_records[2].get("ok")
+        assert "integral" in http_records[2]["error"]
+
+    def test_batch_relabels_through_edge_list_builder(self, tmp_path):
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\nb c\na c\nc d\n", encoding="utf-8")
+        graph, builder = load_graph(str(edges))
+
+        async def scenario():
+            with _engine(graph) as engine:
+                frontend = await _booted(engine, builder=builder)
+                try:
+                    response = await request(
+                        frontend.address,
+                        None,
+                        "POST",
+                        "/batch",
+                        body=b"a d 3\na zzz 2\n",
+                    )
+                    assert response.status == 200
+                    return response.json_lines()
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        records = asyncio.run(scenario())
+        assert len(records) == 2
+        assert records[0]["ok"]
+        assert sorted(map(tuple, records[0]["edges"])) == [
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "c"),
+            ("c", "d"),
+        ]
+        assert not records[1]["ok"] and "zzz" in records[1]["error"]
+
+    def test_overload_sheds_429_never_5xx(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine, max_queue_depth=2)
+                try:
+                    body = json.dumps({"source": 0, "target": 7, "k": 4}).encode()
+                    statuses = [
+                        response.status
+                        for response in await asyncio.gather(
+                            *(
+                                request(
+                                    frontend.address, None, "POST", "/query", body=body
+                                )
+                                for _ in range(32)
+                            )
+                        )
+                    ]
+                finally:
+                    assert await frontend.shutdown(5.0)
+                return statuses, engine.stats
+
+        statuses, stats = asyncio.run(scenario())
+        assert all(status in (200, 429) for status in statuses)
+        assert statuses.count(429) > 0
+        assert statuses.count(200) > 0
+        assert stats.http_queue_depth_peak <= 2
+        assert stats.http_requests_shed == statuses.count(429)
+        assert stats.http_queue_depth == 0  # everything released
+
+    def test_tenant_quota_sheds_per_tenant(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                # 1 token burst, negligible refill: second request must
+                # trip the quota while another tenant still has its token.
+                frontend = await _booted(
+                    engine, tenant_rate=0.001, tenant_burst=1.0
+                )
+                try:
+                    body = json.dumps({"source": 0, "target": 7, "k": 4}).encode()
+
+                    async def fire(tenant):
+                        response = await request(
+                            frontend.address,
+                            None,
+                            "POST",
+                            "/query",
+                            body=body,
+                            headers={"X-Tenant": tenant},
+                        )
+                        return response
+
+                    first = await fire("alpha")
+                    second = await fire("alpha")
+                    other = await fire("beta")
+                    assert first.status == 200
+                    assert second.status == 429
+                    assert second.json()["reason"] == "quota"
+                    assert other.status == 200
+                finally:
+                    assert await frontend.shutdown(5.0)
+                assert engine.stats.http_quota_rejections == 1
+
+        asyncio.run(scenario())
+
+    def test_concurrent_queries_coalesce_into_one_batch(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(
+                    engine, coalesce_window=0.1, coalesce_max_batch=64
+                )
+                try:
+                    queries = [(0, 7, 4), (3, 9, 4), (1, 7, 4), (5, 9, 4)]
+                    responses = await asyncio.gather(
+                        *(
+                            request(
+                                frontend.address,
+                                None,
+                                "POST",
+                                "/query",
+                                body=json.dumps(
+                                    {"source": s, "target": t, "k": k}
+                                ).encode(),
+                            )
+                            for s, t, k in queries
+                        )
+                    )
+                    assert all(r.status == 200 for r in responses)
+                    assert frontend.coalescer.batches_flushed == 1
+                    assert frontend.coalescer.queries_coalesced == len(queries)
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    def test_drain_rejects_new_work_then_completes(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                frontend.admission.begin_drain()
+                try:
+                    body = json.dumps({"source": 0, "target": 7, "k": 4}).encode()
+                    rejected = await request(
+                        frontend.address, None, "POST", "/query", body=body
+                    )
+                    assert rejected.status == 503
+                    assert rejected.headers.get("retry-after") == "1"
+                    health = await request(frontend.address, path="/healthz")
+                    assert health.status == 503
+                finally:
+                    assert await frontend.shutdown(5.0)
+                assert engine.stats.http_drain_rejections >= 1
+
+        asyncio.run(scenario())
+
+    def test_error_statuses(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine, max_body_bytes=64)
+                try:
+                    address = frontend.address
+                    assert (await request(address, path="/nope")).status == 404
+                    assert (await request(address, path="/query")).status == 405
+                    bad = await request(
+                        address, None, "POST", "/query", body=b"not json"
+                    )
+                    assert bad.status == 400
+                    malformed = await request(
+                        address, None, "POST", "/query", body=b'{"source": 0}'
+                    )
+                    assert malformed.status == 400
+                    oversized = await request(
+                        address, None, "POST", "/batch", body=b"0 1 2\n" * 64
+                    )
+                    assert oversized.status == 413
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    def test_keep_alive_serves_sequential_requests(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    async with HTTPConnection(*frontend.address) as connection:
+                        for source in (0, 1, 2):
+                            response = await connection.request(
+                                "POST",
+                                "/query",
+                                body=json.dumps(
+                                    {"source": source, "target": 7, "k": 3}
+                                ).encode(),
+                            )
+                            assert response.status == 200
+                        health = await connection.request("GET", "/healthz")
+                        assert health.status == 200
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    def test_request_spans_recorded_when_tracing(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                engine.tracer = Tracer()
+                frontend = await _booted(engine)
+                try:
+                    await request(frontend.address, path="/healthz")
+                    body = json.dumps({"source": 0, "target": 7, "k": 4}).encode()
+                    await request(frontend.address, None, "POST", "/query", body=body)
+                finally:
+                    assert await frontend.shutdown(5.0)
+                spans = [
+                    event
+                    for event in engine.tracer.events()
+                    if event.name == "http.request"
+                ]
+                assert len(spans) == 2
+                by_path = {span.attributes["path"]: span for span in spans}
+                assert by_path["/healthz"].attributes["status"] == 200
+                assert by_path["/query"].attributes["method"] == "POST"
+                assert by_path["/query"].attributes["tenant"] == "default"
+
+        asyncio.run(scenario())
+
+    def test_empty_batch_returns_empty_body(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    response = await request(
+                        frontend.address, None, "POST", "/batch", body=b"\n# nope\n"
+                    )
+                    assert response.status == 200
+                    assert response.json_lines() == []
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+class TestHTTPConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"coalesce_window": -0.1},
+            {"coalesce_max_batch": 0},
+            {"max_queue_depth": 0},
+            {"tenant_rate": 0.0},
+            {"tenant_burst": -1.0},
+            {"stream_batch_size": 0},
+            {"drain_timeout": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HTTPConfig(**kwargs)
+
+    def test_tenant_burst_defaults_to_one_second_of_rate(self):
+        assert HTTPConfig(tenant_rate=25.0).resolved_tenant_burst() == 25.0
+        assert HTTPConfig(tenant_rate=0.5).resolved_tenant_burst() == 1.0
+        assert HTTPConfig().resolved_tenant_burst() is None
+        assert HTTPConfig(tenant_rate=10.0, tenant_burst=3.0).resolved_tenant_burst() == 3.0
+
+
+# ----------------------------------------------------------------------
+# The stats side of admission telemetry
+# ----------------------------------------------------------------------
+class TestAdmissionStats:
+    def test_unknown_decision_raises(self):
+        with pytest.raises(ValueError):
+            EngineStats().record_admission("whatever")
+
+    def test_negative_queue_depth_raises(self):
+        with pytest.raises(ValueError):
+            EngineStats().set_queue_depth(-1)
+
+    def test_peak_tracks_maximum(self):
+        stats = EngineStats()
+        for depth in (1, 4, 2):
+            stats.set_queue_depth(depth)
+        assert stats.http_queue_depth == 2
+        assert stats.http_queue_depth_peak == 4
+        stats.reset()
+        assert stats.http_queue_depth_peak == 0
+
+    def test_prometheus_renders_admission_families(self):
+        stats = EngineStats()
+        stats.record_admission("admitted")
+        stats.record_admission("quota")
+        stats.set_queue_depth(5)
+        samples = {s.name: s.value for s in parse_exposition(stats.to_prometheus())}
+        assert samples["repro_http_requests_admitted_total"] == 1.0
+        assert samples["repro_http_quota_rejections_total"] == 1.0
+        assert samples["repro_http_queue_depth"] == 5.0
+        assert samples["repro_http_queue_depth_peak"] == 5.0
+
+
+def test_loadgen_smoke_passes_in_process():
+    """The CI smoke leg (benchmarks/loadgen.py smoke) must hold its contract."""
+    benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    sys.path.insert(0, str(benchmarks_dir))
+    try:
+        import loadgen
+    finally:
+        sys.path.remove(str(benchmarks_dir))
+    violations = asyncio.run(
+        loadgen.smoke(topology="tw", scale=0.05, burst=24, max_queue_depth=2)
+    )
+    assert violations == []

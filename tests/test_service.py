@@ -562,3 +562,162 @@ class TestCLI:
         completed = self._run(["--dataset", "ps", "--backend", "gpu"], "")
         assert completed.returncode == 2
         assert "--backend" in completed.stderr
+
+
+# ----------------------------------------------------------------------
+# CLI ingestion: endpoint coercion, translation failures, telemetry loss
+# ----------------------------------------------------------------------
+class TestVertexIdCoercion:
+    def test_integral_values_accepted(self):
+        from repro.service.workload_io import coerce_vertex_id
+
+        assert coerce_vertex_id(5) == 5
+        assert coerce_vertex_id(3.0) == 3
+        assert coerce_vertex_id("7") == 7
+
+    def test_non_integral_float_rejected(self):
+        from repro.service.workload_io import coerce_vertex_id
+
+        with pytest.raises(QueryError, match="integral"):
+            coerce_vertex_id(2.9)
+
+    def test_boolean_rejected(self):
+        # bool is a subclass of int: int(True) == 1 would silently answer
+        # for vertex 1, a different query than the caller wrote.
+        from repro.service.workload_io import coerce_vertex_id
+
+        with pytest.raises(QueryError, match="boolean"):
+            coerce_vertex_id(True)
+        with pytest.raises(QueryError, match="boolean"):
+            coerce_vertex_id(False)
+
+    def test_garbage_rejected(self):
+        from repro.service.workload_io import coerce_vertex_id
+
+        with pytest.raises(QueryError):
+            coerce_vertex_id("x7")
+        with pytest.raises(QueryError):
+            coerce_vertex_id(None)
+
+    def test_translate_queries_isolates_failures_in_order(self):
+        from repro.service.workload_io import translate_queries
+
+        good, failed = translate_queries(
+            [(0, 5, 3), (2.9, 5, 3), (1, True, 4), (4.0, "6", 2)]
+        )
+        assert good == [(0, 5, 3), (4, 6, 2)]
+        assert [index for index, _ in failed] == [1, 2]
+        assert "integral" in failed[0][1]
+        assert "boolean" in failed[1][1]
+
+
+class TestCLIIngestion:
+    def _run(self, args, stdin_text):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.service", *args],
+            input=stdin_text,
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={"PYTHONPATH": str(SRC_DIR)},
+        )
+
+    def test_non_integral_endpoints_error_per_query(self):
+        """Regression: 2.9 used to be silently truncated to vertex 2."""
+        stdin_text = (
+            '{"source": 2.9, "target": 9, "k": 3}\n'
+            '{"source": true, "target": 9, "k": 3}\n'
+            '{"source": 3.0, "target": 9, "k": 3}\n'
+        )
+        completed = self._run(["--dataset", "ps", "--scale", "0.08"], stdin_text)
+        assert completed.returncode == 0, completed.stderr
+        records = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert len(records) == 3
+        assert not records[0]["ok"] and "integral" in records[0]["error"]
+        assert records[0]["source"] == 2.9  # echoed back, not truncated
+        assert not records[1]["ok"] and "boolean" in records[1]["error"]
+        assert records[2]["ok"] and records[2]["source"] == 3
+
+    def test_bad_queries_path_exits_2(self):
+        completed = self._run(
+            ["--dataset", "ps", "--queries", "/nonexistent/queries.jsonl"], ""
+        )
+        assert completed.returncode == 2
+        assert "could not read queries" in completed.stderr
+
+    def test_stdin_and_queries_file_parity(self, tmp_path):
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\nb c\na c\nc d\n", encoding="utf-8")
+        workload = 'a d 3\n{"source": "b", "target": "d", "k": 2}\na zzz 2\n'
+        queries_file = tmp_path / "queries.jsonl"
+        queries_file.write_text(workload, encoding="utf-8")
+
+        from_stdin = self._run(["--edges", str(edges)], workload)
+        from_file = self._run(
+            ["--edges", str(edges), "--queries", str(queries_file)], ""
+        )
+        assert from_stdin.returncode == 0, from_stdin.stderr
+        assert from_file.returncode == 0, from_file.stderr
+
+        def stable(output):
+            records = []
+            for line in output.splitlines():
+                record = json.loads(line)
+                record.pop("latency_ms", None)
+                records.append(record)
+            return records
+
+        assert stable(from_stdin.stdout) == stable(from_file.stdout)
+
+    def test_all_queries_failing_translation_still_interleaves(self, tmp_path):
+        """With --edges, every query failing translation must still emit
+        one error record per query, in input order, with exit 0."""
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\nb c\n", encoding="utf-8")
+        stdin_text = 'zzz c 2\n{"source": 2.9, "target": "c", "k": 3}\nqqq b 2\n'
+        completed = self._run(["--edges", str(edges), "--stats"], stdin_text)
+        assert completed.returncode == 0, completed.stderr
+        records = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert len(records) == 3
+        assert [record["ok"] for record in records] == [False, False, False]
+        assert records[0]["source"] == "zzz"
+        assert records[1]["source"] == 2.9
+        assert records[2]["source"] == "qqq"
+        stats = json.loads(completed.stderr.strip().splitlines()[-1])
+        assert stats["queries_served"] == 0
+
+
+class TestTelemetryOnBatchFailure:
+    def test_exports_survive_run_batch_failure(self, tmp_path, monkeypatch, capsys):
+        """Regression: --stats/--metrics-out/--trace-out used to be lost
+        whenever engine.run_batch raised."""
+        from repro.service.__main__ import main as service_main
+
+        edges = tmp_path / "graph.txt"
+        edges.write_text("a b\nb c\n", encoding="utf-8")
+        queries = tmp_path / "queries.jsonl"
+        queries.write_text("a c 2\n", encoding="utf-8")
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.jsonl"
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("batch exploded")
+
+        monkeypatch.setattr(SPGEngine, "run_batch", explode)
+        with pytest.raises(RuntimeError, match="batch exploded"):
+            service_main(
+                [
+                    "--edges", str(edges),
+                    "--queries", str(queries),
+                    "--stats",
+                    "--metrics-out", str(metrics),
+                    "--trace-out", str(trace),
+                ]
+            )
+
+        captured = capsys.readouterr()
+        stats_line = captured.err.strip().splitlines()[0]
+        assert json.loads(stats_line)["queries_served"] == 0
+        assert metrics.exists()
+        assert "repro_queries_served_total 0" in metrics.read_text(encoding="utf-8")
+        assert trace.exists()  # no spans recorded, but the export ran

@@ -919,3 +919,47 @@ class TestServiceCLITelemetry:
         assert completed.returncode == 0, completed.stderr
         samples = parse_exposition(completed.stderr)
         assert samples_by_name(samples)["repro_queries_served_total"][0].value == 1
+
+
+# ======================================================================
+# Atomic JSONL export (regression: truncate-on-open destroyed the
+# previous export whenever serialisation failed mid-write)
+# ======================================================================
+class TestAtomicExport:
+    def test_failed_export_leaves_previous_file_intact(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        tracer.append(_event("good", phase="one"))
+        assert tracer.export_jsonl(str(path)) == 1
+        before = path.read_text(encoding="utf-8")
+
+        tracer.append(_event("bad", payload=object()))  # not JSON-serialisable
+        with pytest.raises(TypeError):
+            tracer.export_jsonl(str(path))
+        assert path.read_text(encoding="utf-8") == before
+
+    def test_failed_export_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        tracer.append(_event("bad", payload=object()))
+        with pytest.raises(TypeError):
+            tracer.export_jsonl(str(path))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_export_replaces_previous_content(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer()
+        tracer.append(_event("first"))
+        tracer.export_jsonl(str(path))
+        tracer.append(_event("second"))
+        assert tracer.export_jsonl(str(path)) == 2
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["first", "second"]
+        assert [entry.name for entry in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_handle_export_is_unchanged(self):
+        buffer = io.StringIO()
+        tracer = Tracer()
+        tracer.append(_event("x"))
+        assert tracer.export_jsonl(buffer) == 1
+        assert json.loads(buffer.getvalue())["name"] == "x"
