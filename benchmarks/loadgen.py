@@ -19,6 +19,13 @@ server with a deliberately tiny admission bound, one overload burst, then
 hard assertions — zero 5xx, nonzero 429 shedding, a parseable
 ``/metrics`` exposition with matching shed counters, and a clean drain.
 Exit status 1 on any violation.
+
+``python benchmarks/loadgen.py mutate-smoke`` is the dynamic-graph CI
+leg: it boots ``python -m repro.service.http`` as a subprocess (or an
+in-process frontend with ``--in-process``), fires open-loop query
+traffic at it while a mutator coroutine posts ``POST /mutate`` deltas
+concurrently, then asserts zero 5xx, zero transport errors, an advanced
+``repro_graph_epoch`` gauge, and a clean SIGTERM drain.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ import asyncio
 import csv
 import json
 import random
+import signal
+import subprocess
 import sys
 import time
 from dataclasses import asdict, dataclass
@@ -42,7 +51,14 @@ from repro.service.http import HTTPConfig, HTTPFrontend  # noqa: E402
 from repro.service.http.client import request  # noqa: E402
 from repro.telemetry.prometheus import parse_exposition  # noqa: E402
 
-__all__ = ["RunResult", "run_open_loop", "run_table", "smoke", "main"]
+__all__ = [
+    "RunResult",
+    "run_open_loop",
+    "run_table",
+    "smoke",
+    "mutation_smoke",
+    "main",
+]
 
 
 @dataclass
@@ -443,6 +459,188 @@ async def smoke(
 
 
 # ----------------------------------------------------------------------
+# CI smoke: mutate the served graph under live traffic and assert the
+# contract — no 5xx, no torn connection, epoch advances, clean drain.
+# ----------------------------------------------------------------------
+async def _spawn_http_server(
+    topology: str, scale: float, seed: int
+) -> Tuple[subprocess.Popen, Tuple[str, int]]:
+    """Boot ``python -m repro.service.http`` and wait for its listen line."""
+    src_dir = Path(__file__).resolve().parent.parent / "src"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.http",
+            "--dataset",
+            topology,
+            "--scale",
+            str(scale),
+            "--seed",
+            str(seed),
+            "--port",
+            "0",
+            "--backend",
+            "thread",
+            "--cache-size",
+            "256",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": str(src_dir)},
+    )
+    loop = asyncio.get_running_loop()
+    line = await asyncio.wait_for(
+        loop.run_in_executor(None, process.stderr.readline), 60.0
+    )
+    prefix = "serving on http://"
+    if not line.startswith(prefix):
+        process.terminate()
+        raise RuntimeError(f"unexpected server banner: {line!r}")
+    host, _, port = line[len(prefix):].strip().rpartition(":")
+    return process, (host, int(port))
+
+
+async def _mutator(
+    address: Tuple[str, int],
+    num_vertices: int,
+    *,
+    rounds: int,
+    interval: float,
+    seed: int,
+) -> List[int]:
+    """Post ``rounds`` deltas, alternating insert and delete of the same
+    fresh edges so the graph keeps churning without drifting unboundedly."""
+    rng = random.Random(seed)
+    statuses: List[int] = []
+    pending: List[List[int]] = []
+    for round_index in range(rounds):
+        if pending:
+            payload = {"delete": pending}
+            pending = []
+        else:
+            pending = []
+            while len(pending) < 4:
+                u, v = rng.randrange(num_vertices), rng.randrange(num_vertices)
+                if u != v:
+                    pending.append([u, v])
+            payload = {"insert": pending}
+        try:
+            response = await request(
+                address, None, "POST", "/mutate", body=json.dumps(payload).encode()
+            )
+            statuses.append(response.status)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError, ValueError):
+            statuses.append(0)
+        await asyncio.sleep(interval)
+    return statuses
+
+
+async def mutation_smoke(
+    *,
+    topology: str = "tw",
+    scale: float = 0.05,
+    rate: float = 60.0,
+    duration: float = 3.0,
+    mutation_rounds: int = 12,
+    seed: int = 20230901,
+    in_process: bool = False,
+) -> List[str]:
+    """Run the mutation-under-traffic smoke; returns violations (empty = pass)."""
+    violations: List[str] = []
+    process: Optional[subprocess.Popen] = None
+    target: Optional[_Target] = None
+    graph = load_dataset(topology, scale=scale, seed=seed)
+    try:
+        if in_process:
+            target = await _boot(
+                topology,
+                scale,
+                seed=seed,
+                backend="thread",
+                max_queue_depth=256,
+                tenant_rate=None,
+            )
+            address = target.address
+        else:
+            process, address = await _spawn_http_server(topology, scale, seed)
+
+        queries = _make_queries(graph.num_vertices, 128, seed)
+        interval = duration / max(1, mutation_rounds)
+        samples, mutation_statuses = await asyncio.gather(
+            run_open_loop(address, queries, rate=rate, duration=duration),
+            _mutator(
+                address,
+                graph.num_vertices,
+                rounds=mutation_rounds,
+                interval=interval,
+                seed=seed + 1,
+            ),
+        )
+
+        errors_5xx = sum(1 for s in samples if s.status >= 500)
+        transport = sum(1 for s in samples if s.status == 0)
+        ok = sum(1 for s in samples if s.status == 200)
+        mutations_ok = sum(1 for status in mutation_statuses if status == 200)
+        mutations_5xx = sum(1 for status in mutation_statuses if status >= 500)
+        if errors_5xx:
+            violations.append(f"{errors_5xx} query 5xx responses during mutation")
+        if mutations_5xx:
+            violations.append(f"{mutations_5xx} mutate 5xx responses")
+        if transport:
+            violations.append(f"{transport} torn connections during mutation")
+        if ok == 0:
+            violations.append("no query succeeded under mutation traffic")
+        if mutations_ok == 0:
+            violations.append("no mutation was accepted")
+
+        metrics = await request(address, None, "GET", "/metrics")
+        samples_by_name = {s.name: s.value for s in parse_exposition(metrics.text)}
+        epoch = samples_by_name.get("repro_graph_epoch", 0.0)
+        applied = samples_by_name.get("repro_deltas_applied_total", 0.0)
+        if applied < mutations_ok:
+            violations.append(
+                f"repro_deltas_applied_total {applied:g} < accepted {mutations_ok}"
+            )
+        if epoch <= 0:
+            violations.append(f"repro_graph_epoch never advanced ({epoch:g})")
+
+        if process is not None:
+            process.send_signal(signal.SIGTERM)
+            loop = asyncio.get_running_loop()
+            try:
+                returncode = await asyncio.wait_for(
+                    loop.run_in_executor(None, process.wait), 30.0
+                )
+            except asyncio.TimeoutError:
+                process.kill()
+                violations.append("server did not drain within 30s of SIGTERM")
+            else:
+                if returncode != 0:
+                    violations.append(f"server exited {returncode} on SIGTERM drain")
+            process = None
+        else:
+            drained = await target.frontend.shutdown(10.0)
+            target.frontend = None
+            if not drained:
+                violations.append("in-process drain did not complete within 10s")
+
+        print(
+            f"mutate-smoke: {ok} queries ok, {mutations_ok}/{len(mutation_statuses)} "
+            f"mutations ok, epoch {epoch:g}, {errors_5xx} 5xx, "
+            f"{transport} transport errors",
+            file=sys.stderr,
+        )
+    finally:
+        if process is not None:
+            process.kill()
+            process.wait()
+        if target is not None:
+            await target.aclose()
+    return violations
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def _parse_floats(text: str) -> List[float]:
@@ -498,11 +696,42 @@ def build_parser() -> argparse.ArgumentParser:
     smoke_parser.add_argument("--burst", type=int, default=48)
     smoke_parser.add_argument("--max-queue-depth", type=int, default=2)
     smoke_parser.add_argument("--seed", type=int, default=20230901)
+
+    mutate_parser = sub.add_parser(
+        "mutate-smoke",
+        help="CI mutation-under-traffic smoke (exit 1 on violation)",
+    )
+    mutate_parser.add_argument("--topology", default="tw")
+    mutate_parser.add_argument("--scale", type=float, default=0.05)
+    mutate_parser.add_argument("--rate", type=float, default=60.0)
+    mutate_parser.add_argument("--duration", type=float, default=3.0)
+    mutate_parser.add_argument("--mutation-rounds", type=int, default=12)
+    mutate_parser.add_argument("--seed", type=int, default=20230901)
+    mutate_parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="boot the frontend in-process instead of python -m repro.service.http",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "mutate-smoke":
+        violations = asyncio.run(
+            mutation_smoke(
+                topology=args.topology,
+                scale=args.scale,
+                rate=args.rate,
+                duration=args.duration,
+                mutation_rounds=args.mutation_rounds,
+                seed=args.seed,
+                in_process=args.in_process,
+            )
+        )
+        for violation in violations:
+            print(f"MUTATE-SMOKE VIOLATION: {violation}", file=sys.stderr)
+        return 1 if violations else 0
     if args.command == "smoke":
         violations = asyncio.run(
             smoke(

@@ -215,6 +215,13 @@ def collect_snapshot(
     # trajectory tracks end-to-end serving overhead, not just engine time.
     entries.extend(_measure_http_serving(graph, queries[: min(len(queries), 100)]))
 
+    # Dynamic graphs: overlay apply cost, its advantage over a full CSR
+    # rebuild, and the scoped cache-invalidation retention on the same
+    # served workload.
+    entries.extend(
+        _measure_dynamic_serving(graph, queries, seed=seed, repeats=repeats)
+    )
+
     data = {
         "schema_version": SCHEMA_VERSION,
         "pr": int(pr),
@@ -295,6 +302,74 @@ def _measure_http_serving(graph, queries) -> List[Dict[str, object]]:
         _entry("serving.http.throughput_qps", "serving", measured["throughput_qps"], "qps"),
         _entry("serving.http.p99_ms", "serving", measured["p99_ms"], "ms"),
         _entry("serving.http.shed_rate", "serving", measured["shed_rate"], "ratio"),
+    ]
+
+
+def _measure_dynamic_serving(graph, queries, *, seed: int, repeats: int) -> List[Dict[str, object]]:
+    """Measure the dynamic-graph path: delta apply, rebuild speedup, retention.
+
+    Warms an engine cache with the snapshot workload, applies one small
+    seeded :class:`~repro.graph.delta.GraphDelta` through
+    :meth:`SPGEngine.apply_delta` (epoch swap + spliced CSR + scoped
+    invalidation), and reports the apply latency, how much faster the raw
+    overlay apply is than rebuilding the :class:`DiGraph` from its mutated
+    edge list, and the fraction of cache entries the k-ball scoped
+    invalidation kept alive across the swap.
+    """
+    import random
+
+    from repro.graph.delta import GraphDelta, apply_delta
+    from repro.graph.digraph import DiGraph
+    from repro.service.engine import SPGEngine
+
+    rng = random.Random(seed + 7)
+    n = graph.num_vertices
+    inserts = []
+    while len(inserts) < 8:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            inserts.append((u, v))
+    deletes = rng.sample(sorted(graph.edge_set()), 8)
+    deletes = [edge for edge in deletes if edge not in set(inserts)]
+    delta = GraphDelta(inserts=inserts, deletes=deletes)
+
+    # Raw overlay apply vs full rebuild (best of ``repeats``), CSR included.
+    best_overlay = best_rebuild = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        view = apply_delta(graph, delta)
+        view.csr()
+        view.csr_reverse()
+        best_overlay = min(best_overlay, time.perf_counter() - started)
+        started = time.perf_counter()
+        edges = graph.edge_set()
+        edges.difference_update(delta.deletes)
+        edges.update(delta.inserts)
+        rebuilt = DiGraph(n, sorted(edges))
+        rebuilt.csr()
+        rebuilt.csr_reverse()
+        best_rebuild = min(best_rebuild, time.perf_counter() - started)
+
+    # Engine-level swap under a warm cache: apply latency + retention.
+    with SPGEngine(graph, executor_backend="serial") as engine:
+        engine.run_batch(queries)
+        started = time.perf_counter()
+        report = engine.apply_delta(delta)
+        apply_seconds = time.perf_counter() - started
+    total = report.cache_invalidated + report.cache_retained
+    retention = report.cache_retained / total if total else 0.0
+
+    return [
+        _entry("serving.dynamic.apply_ms", "serving", apply_seconds * 1000.0, "ms"),
+        _entry(
+            "serving.dynamic.overlay_vs_rebuild_speedup",
+            "serving",
+            best_rebuild / max(best_overlay, 1e-9),
+            "x",
+        ),
+        _entry(
+            "serving.dynamic.cache_retention_ratio", "serving", retention, "ratio"
+        ),
     ]
 
 

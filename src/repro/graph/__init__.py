@@ -7,11 +7,13 @@ edge-list I/O (:mod:`repro.graph.io`), synthetic generators
 (:mod:`repro.graph.generators`), structural statistics
 (:mod:`repro.graph.properties`), edge-induced subgraphs
 (:mod:`repro.graph.subgraph`), vertex-range CSR partitioning
-(:mod:`repro.graph.partition`) and shared-memory CSR segments with
-zero-copy graph views (:mod:`repro.graph.shm`).
+(:mod:`repro.graph.partition`), shared-memory CSR segments with
+zero-copy graph views (:mod:`repro.graph.shm`) and batched edge
+mutations applied as CSR overlays (:mod:`repro.graph.delta`).
 """
 
 from repro.graph.builder import GraphBuilder, build_graph
+from repro.graph.delta import DeltaOverlayView, GraphDelta, apply_delta
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import (
     GraphShard,
@@ -34,7 +36,10 @@ from repro.graph.subgraph import edge_induced_subgraph, vertex_induced_subgraph
 
 __all__ = [
     "DiGraph",
+    "DeltaOverlayView",
     "GraphBuilder",
+    "GraphDelta",
+    "apply_delta",
     "build_graph",
     "edge_induced_subgraph",
     "vertex_induced_subgraph",

@@ -48,6 +48,7 @@ served workload.
 from repro.service.cache import CacheKey, ResultCache, make_cache_key
 from repro.service.engine import (
     BatchReport,
+    DeltaReport,
     EngineConfig,
     GroupExecution,
     QueryOutcome,
@@ -83,6 +84,7 @@ __all__ = [
     "ScratchPool",
     "QueryOutcome",
     "BatchReport",
+    "DeltaReport",
     "GroupExecution",
     "ResultCache",
     "CacheKey",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro._types import Vertex
 from repro.core.eve import EVEConfig
@@ -52,6 +52,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> Optional[SimplePathGraphResult]:
@@ -81,6 +82,81 @@ class ResultCache:
             self._entries.clear()
 
     # ------------------------------------------------------------------
+    # Scoped invalidation (dynamic graphs)
+    # ------------------------------------------------------------------
+    def invalidate_where(self, predicate: Callable[[CacheKey], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return the count.
+
+        The historical invalidation model was all-or-nothing: a graph swap
+        changed the fingerprint, so *every* old entry went stale at once and
+        simply aged out.  Delta mutations break that assumption — most
+        entries survive a localized edit — so this walks the table under the
+        lock and removes exactly the matching keys.  ``predicate`` must be a
+        pure function of the key (it runs with the lock held; it must not
+        call back into the cache).  Hit/miss counters are untouched:
+        invalidation is not a lookup, and dropped entries are tallied in
+        ``invalidations`` instead.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def rekey_fingerprint(
+        self,
+        old_fingerprint: str,
+        new_fingerprint: str,
+        keep: Optional[Callable[[CacheKey], bool]] = None,
+    ) -> Tuple[int, int]:
+        """Migrate entries from one graph fingerprint to its successor.
+
+        For every entry keyed on ``old_fingerprint``: if ``keep(key)`` is
+        true the entry is re-inserted under ``new_fingerprint`` (its result
+        is still exact on the successor graph — the caller proved its
+        k-ball misses the touched region); otherwise it is dropped and
+        counted in ``invalidations``.  ``keep=None`` drops everything, the
+        conservative whole-flush.  Returns ``(invalidated, retained)``.
+
+        Runs atomically under the lock, so a concurrent ``get`` sees either
+        the old key or the new one, never a half-migrated table.  Like
+        :meth:`invalidate_where`, ``keep`` must be pure and must not call
+        back into the cache.  Retained entries keep their stored result
+        object and are refreshed to most-recently-used (they just survived
+        a mutation — demonstrably still hot).
+        """
+        invalidated = 0
+        retained = 0
+        with self._lock:
+            matching = [key for key in self._entries if key[4] == old_fingerprint]
+            for key in matching:
+                result = self._entries.pop(key)
+                if keep is not None and keep(key):
+                    new_key = (key[0], key[1], key[2], key[3], new_fingerprint)
+                    self._entries[new_key] = result
+                    retained += 1
+                else:
+                    invalidated += 1
+            self.invalidations += invalidated
+        return invalidated, retained
+
+    def keys(self) -> List[CacheKey]:
+        """Return a point-in-time list of the cached keys."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def items(self) -> List[Tuple[CacheKey, SimplePathGraphResult]]:
+        """Return a point-in-time list of ``(key, result)`` pairs.
+
+        Unlike :meth:`get` this does not touch hit/miss counters or LRU
+        order; it exists for invariant checks (the dynamic-graph harness
+        audits every retained entry against a from-scratch oracle).
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    # ------------------------------------------------------------------
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups that hit (0.0 before any lookup).
@@ -104,6 +180,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
                 "hit_rate": self.hits / total if total else 0.0,
             }
 

@@ -56,10 +56,12 @@ from typing import (
 )
 
 from repro._types import Edge, Vertex
-from repro.core.distances import backward_distance_map
+from repro.core.distances import backward_distance_map, bounded_multi_source_distances
 from repro.core.eve import EVE, EVEConfig
 from repro.core.result import SimplePathGraphResult
 from repro.exceptions import QueryError
+from repro.graph.delta import GraphDelta
+from repro.graph.delta import apply_delta as apply_graph_delta
 from repro.graph.digraph import DiGraph
 from repro.graph.shm import (
     AttachedGraphSegment,
@@ -86,6 +88,7 @@ __all__ = [
     "EngineConfig",
     "QueryOutcome",
     "BatchReport",
+    "DeltaReport",
     "GroupExecution",
     "SPGEngine",
 ]
@@ -136,6 +139,7 @@ class EngineConfig:
     executor_backend: Optional[str] = None
     num_shards: Optional[int] = None
     shared_memory: Optional[bool] = None
+    compact_threshold: int = 4096
 
     def eve_config(self) -> EVEConfig:
         """The :class:`~repro.core.eve.EVEConfig` slice of this config."""
@@ -159,6 +163,44 @@ class EngineConfig:
             "latency_window": self.latency_window,
             "executor_backend": self.executor_backend,
             "shared_memory": self.shared_memory,
+            "compact_threshold": self.compact_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`SPGEngine.apply_delta` call did.
+
+    ``inserted``/``deleted`` count the *effective* edge changes (requested
+    edges that were already present / already absent are idempotent no-ops,
+    tallied in the ``skipped_*`` fields).  ``cache_invalidated`` /
+    ``cache_retained`` describe the scoped invalidation outcome over the
+    entries that were keyed on the pre-delta graph.  ``noop`` deltas leave
+    the graph, epoch and cache untouched.
+    """
+
+    epoch: int
+    inserted: int
+    deleted: int
+    skipped_inserts: int
+    skipped_deletes: int
+    cache_invalidated: int
+    cache_retained: int
+    compacted: bool
+    noop: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (the shape ``POST /mutate`` responds with)."""
+        return {
+            "epoch": self.epoch,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "skipped_inserts": self.skipped_inserts,
+            "skipped_deletes": self.skipped_deletes,
+            "cache_invalidated": self.cache_invalidated,
+            "cache_retained": self.cache_retained,
+            "compacted": self.compacted,
+            "noop": self.noop,
         }
 
 
@@ -619,6 +661,14 @@ class SPGEngine:
         initializer.  ``True`` requires the segment (construction of the
         pool raises when shared memory is unavailable); ``False`` always
         pickles.  Irrelevant for in-process backends.
+    compact_threshold:
+        Net overlay size (insert + delete edges relative to the last
+        compacted base) at which :meth:`apply_delta` folds the
+        :class:`~repro.graph.delta.DeltaOverlayView` into a fresh base
+        graph.  Compaction is O(1) (the merged storage already exists) and
+        keeps the lineage fingerprint, so caches and warm pools survive it;
+        the threshold only bounds overlay bookkeeping and per-delta
+        fingerprint hashing.
     tracer:
         Optional :class:`repro.telemetry.Tracer`.  When set, every cache
         miss records its per-phase spans into it — in-process queries
@@ -640,8 +690,13 @@ class SPGEngine:
         latency_window: int = 4096,
         executor_backend: Optional[str] = None,
         shared_memory: Optional[bool] = None,
+        compact_threshold: int = 4096,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        if compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {compact_threshold}"
+            )
         self._graph = graph
         self._config = config or EVEConfig()
         self._cache = ResultCache(cache_size) if cache_size > 0 else None
@@ -651,6 +706,11 @@ class SPGEngine:
         self._max_workers = max_workers
         self._min_group_size = min_group_size
         self._swap_lock = Lock()
+        # Serializes apply_delta callers (mutations are read-modify-write
+        # on the served graph); queries never take it.
+        self._delta_lock = Lock()
+        self._graph_epoch = 0
+        self._compact_threshold = compact_threshold
         # Fail fast on bad names instead of at first batch.
         self._backend_name = resolve_backend_name(executor_backend)
         self._shared_memory = shared_memory
@@ -705,6 +765,11 @@ class SPGEngine:
     @property
     def graph(self) -> DiGraph:
         return self._graph
+
+    @property
+    def graph_epoch(self) -> int:
+        """Number of effective deltas applied since construction."""
+        return self._graph_epoch
 
     @property
     def config(self) -> EVEConfig:
@@ -980,6 +1045,187 @@ class SPGEngine:
         """Drop every cached result."""
         if self._cache is not None:
             self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Dynamic graphs: epoch-versioned delta application
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, delta: GraphDelta, *, scoped_invalidation: bool = True
+    ) -> DeltaReport:
+        """Apply an edge delta to the served graph under live traffic.
+
+        The successor graph is built as a :class:`~repro.graph.delta`
+        overlay of the current epoch (shared rows, spliced CSR, lineage
+        fingerprint) — or folded into a fresh base via ``compact()`` once
+        the net overlay outgrows ``compact_threshold`` — and swapped in
+        through :meth:`set_graph`.  The epoch semantics fall out of the
+        existing immutability machinery:
+
+        * In-flight queries and batches read ``self._graph`` exactly once
+          at admission, so they finish on the epoch they started on;
+          checked-out scratch is graph-independent (epoch-stamped buffers).
+        * New queries see the new epoch and its fingerprint.
+        * A warm process pool serving the old fingerprint is detected by
+          the existing staleness guards and rebuilt lazily on the next
+          batch; mid-flight tasks on the old pool carry the old
+          fingerprint and stay consistent.
+
+        Cache entries keyed on the old fingerprint are migrated with a
+        *scoped* invalidation instead of the historical whole-flush: an
+        entry ``(s, t, k)`` can only change if some touched edge ``(u,
+        v)`` sits on a path of length <= k from ``s`` to ``t``, i.e. if
+        ``dist(s, u) + 1 + dist(v, t) <= k``.  Both distances are
+        measured in the *union* of the pre- and post-delta graphs (the
+        new graph plus the just-deleted edges), which lower-bounds both
+        epochs' distances, so the test is conservative: it may
+        over-invalidate, never retain a stale entry.  Surviving entries
+        are re-keyed to the new fingerprint atomically.  Pass
+        ``scoped_invalidation=False`` to drop every old-epoch entry
+        instead (the conservative whole-flush).
+
+        Mutations serialize against each other; queries are never
+        blocked.  No-op deltas (every edge already present/absent) leave
+        the graph, epoch, fingerprint and cache untouched.
+
+        Raises :class:`~repro.exceptions.EdgeError` if the delta names an
+        endpoint outside the current graph's vertex range.
+        """
+        with self._delta_lock:
+            old_graph = self._graph
+            view = apply_graph_delta(old_graph, delta)
+            skipped_inserts = delta.num_inserts - len(view.applied_inserts)
+            skipped_deletes = delta.num_deletes - len(view.applied_deletes)
+            if view.is_noop:
+                report = DeltaReport(
+                    epoch=self._graph_epoch,
+                    inserted=0,
+                    deleted=0,
+                    skipped_inserts=skipped_inserts,
+                    skipped_deletes=skipped_deletes,
+                    cache_invalidated=0,
+                    cache_retained=0,
+                    compacted=False,
+                    noop=True,
+                )
+                self._stats.record_delta(
+                    inserted=0,
+                    deleted=0,
+                    invalidated=0,
+                    retained=0,
+                    compacted=False,
+                    epoch=self._graph_epoch,
+                )
+                return report
+
+            compacted = view.overlay_size >= self._compact_threshold
+            new_graph: DiGraph = view.compact() if compacted else view
+            old_fingerprint = self._batch_fingerprint(old_graph)
+
+            # Scoped invalidation runs its union-graph BFS *before* the
+            # swap: the predicate is a pure function over the precomputed
+            # distance maps, so the later atomic re-key holds the cache
+            # lock only for dict operations.
+            keep = None
+            if self._cache is not None and scoped_invalidation:
+                keep = self._scoped_keep_predicate(
+                    new_graph, view.applied_inserts, view.applied_deletes,
+                    old_fingerprint,
+                )
+
+            self.set_graph(new_graph)
+            new_fingerprint = self._batch_fingerprint(new_graph)
+            self._graph_epoch += 1
+            epoch = self._graph_epoch
+
+            invalidated = retained = 0
+            if self._cache is not None:
+                invalidated, retained = self._cache.rekey_fingerprint(
+                    old_fingerprint, new_fingerprint, keep
+                )
+            self._stats.record_delta(
+                inserted=len(view.applied_inserts),
+                deleted=len(view.applied_deletes),
+                invalidated=invalidated,
+                retained=retained,
+                compacted=compacted,
+                epoch=epoch,
+            )
+            return DeltaReport(
+                epoch=epoch,
+                inserted=len(view.applied_inserts),
+                deleted=len(view.applied_deletes),
+                skipped_inserts=skipped_inserts,
+                skipped_deletes=skipped_deletes,
+                cache_invalidated=invalidated,
+                cache_retained=retained,
+                compacted=compacted,
+                noop=False,
+            )
+
+    def _scoped_keep_predicate(
+        self,
+        new_graph: DiGraph,
+        inserted: Tuple[Edge, ...],
+        deleted: Tuple[Edge, ...],
+        old_fingerprint: str,
+    ):
+        """Build the k-ball keep-predicate for one delta's touched edges.
+
+        ``keep(key)`` is true when the entry's ``(s, t, k)`` ball provably
+        misses every touched edge: ``dist(s, nearest touched tail) + 1 +
+        dist(nearest touched head, t) > k`` in the union graph (new graph
+        plus just-deleted edges).  Distances are computed once per delta
+        with two depth-capped multi-source BFS passes — a reverse pass
+        from the touched tails and a forward pass from the touched heads —
+        capped at ``max cached k - 1``.  Entries with a larger ``k`` than
+        any seen at BFS time (a racing put from an in-flight old-epoch
+        batch) fail the test and are dropped: over-invalidation is always
+        safe.
+        """
+        assert self._cache is not None
+        k_values = [
+            key[2] for key in self._cache.keys() if key[4] == old_fingerprint
+        ]
+        if not k_values:
+            return lambda key: False
+        k_max = max(k_values)
+        touched_tails = {u for u, _ in inserted} | {u for u, _ in deleted}
+        touched_heads = {v for _, v in inserted} | {v for _, v in deleted}
+        # The union graph = new graph + deleted edges, overlaid without a
+        # rebuild: forward BFS gets the deleted edges as extra out-edges,
+        # reverse BFS as extra in-edges.
+        extra_forward: Dict[Vertex, List[Vertex]] = {}
+        extra_reverse: Dict[Vertex, List[Vertex]] = {}
+        for u, v in deleted:
+            extra_forward.setdefault(u, []).append(v)
+            extra_reverse.setdefault(v, []).append(u)
+        to_tails = bounded_multi_source_distances(
+            new_graph,
+            touched_tails,
+            max(0, k_max - 1),
+            reverse=True,
+            extra_adjacency=extra_reverse,
+        )
+        from_heads = bounded_multi_source_distances(
+            new_graph,
+            touched_heads,
+            max(0, k_max - 1),
+            extra_adjacency=extra_forward,
+        )
+
+        def keep(key: CacheKey) -> bool:
+            source, target, k = key[0], key[1], key[2]
+            if k > k_max:
+                return False
+            distance_to_tail = to_tails.get(source)
+            if distance_to_tail is None:
+                return True
+            distance_from_head = from_heads.get(target)
+            if distance_from_head is None:
+                return True
+            return distance_to_tail + 1 + distance_from_head > k
+
+        return keep
 
     # ------------------------------------------------------------------
     # Single queries

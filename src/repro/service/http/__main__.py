@@ -18,6 +18,11 @@ Then query it::
     curl -s -X POST http://127.0.0.1:<port>/query \\
         -d '{"source": 0, "target": 5, "k": 4}'
     curl -s http://127.0.0.1:<port>/metrics
+
+And mutate the served graph under live traffic::
+
+    curl -s -X POST http://127.0.0.1:<port>/mutate \\
+        -d '{"insert": [[0, 7]], "delete": [[3, 4]]}'
 """
 
 from __future__ import annotations
@@ -97,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="smallest (target, k) group that shares a backward pass",
+    )
+    parser.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=4096,
+        metavar="EDGES",
+        help="net delta-overlay size that triggers folding into a fresh base",
     )
     parser.add_argument(
         "--strategy",
@@ -204,6 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             min_group_size=args.min_group_size,
             executor_backend=args.backend,
             num_shards=args.shards,
+            compact_threshold=args.compact_threshold,
         )
         engine = SPGEngine.from_config(graph, engine_config)
         http_config = HTTPConfig(

@@ -13,9 +13,16 @@ dependency — requests are parsed straight off ``asyncio`` streams:
   streams one outcome record per line as chunked transfer encoding,
   backed by :meth:`~repro.service.engine.SPGEngine.astream`, with
   translation failures interleaved in input order exactly like the CLI.
+* ``POST /mutate`` — a JSON ``{"insert": [[u, v], ...], "delete": ...}``
+  edge delta, applied to the live engine through
+  :meth:`~repro.service.engine.SPGEngine.apply_delta` (epoch-versioned
+  swap, scoped cache invalidation); the response reports the new epoch
+  and what the delta did.  Mutations pass the same admission gates as
+  queries, so a drain waits for in-flight mutations and answers new ones
+  503.
 * ``GET /metrics`` — Prometheus text-format 0.0.4 from
   :meth:`~repro.service.stats.EngineStats.to_prometheus` (admission
-  counters and queue-depth gauges included).
+  counters, delta/invalidation counters and queue-depth gauges included).
 * ``GET /healthz`` — liveness plus drain state (503 while draining).
 
 Overload sheds with 429 (queue full or tenant quota) and shutdown drains
@@ -35,7 +42,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.exceptions import QueryError
+from repro.exceptions import EdgeError, GraphError, QueryError
+from repro.graph.delta import GraphDelta
 from repro.service.engine import QueryOutcome, SPGEngine
 from repro.service.http.admission import ADMITTED, DRAINING, QUOTA, SHED, AdmissionController
 from repro.service.http.coalescer import QueryCoalescer
@@ -382,6 +390,10 @@ class HTTPFrontend:
             if request.method != "POST":
                 raise HTTPError(405, f"{path} only supports POST")
             return await self._handle_batch(request, writer, keep_alive)
+        if path == "/mutate":
+            if request.method != "POST":
+                raise HTTPError(405, f"{path} only supports POST")
+            return await self._handle_mutate(request, writer, keep_alive)
         raise HTTPError(404, f"unknown path {path!r}")
 
     def _handle_healthz(self, writer: asyncio.StreamWriter, keep_alive: bool) -> int:
@@ -504,6 +516,70 @@ class HTTPFrontend:
             writer.write(b"0\r\n\r\n")
         finally:
             self._admission.release(cost)
+        return 200
+
+    def _translate_edges(self, entries: object, key: str) -> list:
+        """Validate one ``insert``/``delete`` list, relabelling if needed."""
+        if not isinstance(entries, list):
+            raise HTTPError(400, f"{key!r} must be a JSON array of [u, v] pairs")
+        edges = []
+        for entry in entries:
+            if not isinstance(entry, list) or len(entry) != 2:
+                raise HTTPError(400, f"{key} entry {entry!r} is not a [u, v] pair")
+            u, v = entry
+            if self._builder is not None:
+                try:
+                    u = self._builder.vertex_id(u)
+                    v = self._builder.vertex_id(v)
+                except GraphError as exc:
+                    raise HTTPError(400, str(exc)) from exc
+            edges.append((u, v))
+        return edges
+
+    async def _handle_mutate(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> int:
+        text = self._decode_body(request)
+        try:
+            payload = json.loads(text) if text.strip() else {}
+        except json.JSONDecodeError as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "POST /mutate expects a JSON object")
+        unknown = set(payload) - {"insert", "delete"}
+        if unknown:
+            raise HTTPError(
+                400,
+                f"unknown mutate keys {sorted(unknown)}; "
+                f"expected 'insert' and/or 'delete'",
+            )
+        inserts = self._translate_edges(payload.get("insert", []), "insert")
+        deletes = self._translate_edges(payload.get("delete", []), "delete")
+        try:
+            delta = GraphDelta(inserts=inserts, deletes=deletes)
+        except GraphError as exc:
+            raise HTTPError(400, str(exc)) from exc
+
+        # Mutations take one admission slot: a drain therefore waits for
+        # in-flight mutations exactly like in-flight queries (and answers
+        # new ones 503), and overload sheds them with 429 before they can
+        # contend with query traffic.
+        decision = self._admission.try_admit(self._tenant(request))
+        if decision != ADMITTED:
+            return self._rejection(writer, decision, keep_alive)
+        try:
+            # The union-graph BFS + re-key runs off the event loop so
+            # concurrent connections keep being served during a mutation.
+            loop = asyncio.get_running_loop()
+            try:
+                report = await loop.run_in_executor(
+                    None, self._engine.apply_delta, delta
+                )
+            except EdgeError as exc:
+                raise HTTPError(400, str(exc)) from exc
+        finally:
+            self._admission.release()
+        _write_response(writer, 200, _json_body(report.to_dict()), keep_alive=keep_alive)
         return 200
 
     @staticmethod

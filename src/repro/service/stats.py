@@ -232,6 +232,15 @@ class EngineStats:
         self.http_drain_rejections = 0
         self.http_queue_depth = 0
         self.http_queue_depth_peak = 0
+        # Dynamic-graph mutation accounting (repro.graph.delta): one
+        # record_delta per apply_delta, plus the epoch gauge.
+        self.deltas_applied = 0
+        self.delta_edges_inserted = 0
+        self.delta_edges_deleted = 0
+        self.delta_compactions = 0
+        self.cache_entries_invalidated = 0
+        self.cache_entries_retained = 0
+        self.graph_epoch = 0
 
     # ------------------------------------------------------------------
     def record_query(
@@ -372,6 +381,36 @@ class EngineStats:
                     f"'admitted', 'shed', 'quota' or 'draining'"
                 )
 
+    def record_delta(
+        self,
+        *,
+        inserted: int,
+        deleted: int,
+        invalidated: int,
+        retained: int,
+        compacted: bool,
+        epoch: int,
+    ) -> None:
+        """Record one applied graph delta.
+
+        ``inserted``/``deleted`` are the *effective* edge counts (no-op
+        edges excluded), ``invalidated``/``retained`` the scoped cache
+        outcome — together they make the scoped-invalidation claim
+        auditable from ``/metrics``: under localized mutation,
+        ``cache_entries_retained`` should dominate
+        ``cache_entries_invalidated``.  ``epoch`` updates the graph-epoch
+        gauge (monotonic while the engine lives).
+        """
+        with self._lock:
+            self.deltas_applied += 1
+            self.delta_edges_inserted += inserted
+            self.delta_edges_deleted += deleted
+            self.cache_entries_invalidated += invalidated
+            self.cache_entries_retained += retained
+            if compacted:
+                self.delta_compactions += 1
+            self.graph_epoch = epoch
+
     def set_queue_depth(self, depth: int) -> None:
         """Update the HTTP admission queue-depth gauge (and its peak)."""
         if depth < 0:
@@ -450,6 +489,13 @@ class EngineStats:
                 "http_drain_rejections": self.http_drain_rejections,
                 "http_queue_depth": self.http_queue_depth,
                 "http_queue_depth_peak": self.http_queue_depth_peak,
+                "deltas_applied": self.deltas_applied,
+                "delta_edges_inserted": self.delta_edges_inserted,
+                "delta_edges_deleted": self.delta_edges_deleted,
+                "delta_compactions": self.delta_compactions,
+                "cache_entries_invalidated": self.cache_entries_invalidated,
+                "cache_entries_retained": self.cache_entries_retained,
+                "graph_epoch": self.graph_epoch,
                 "p50_ms": self._latencies.quantile(0.50) * 1000.0,
                 "p95_ms": self._latencies.quantile(0.95) * 1000.0,
                 "p99_ms": self._latencies.quantile(0.99) * 1000.0,
@@ -545,6 +591,36 @@ class EngineStats:
                     "HTTP requests rejected during graceful drain (503).",
                     self.http_drain_rejections,
                 ),
+                (
+                    "repro_deltas_applied_total",
+                    "Graph deltas applied via apply_delta.",
+                    self.deltas_applied,
+                ),
+                (
+                    "repro_delta_edges_inserted_total",
+                    "Edges effectively inserted by applied deltas.",
+                    self.delta_edges_inserted,
+                ),
+                (
+                    "repro_delta_edges_deleted_total",
+                    "Edges effectively deleted by applied deltas.",
+                    self.delta_edges_deleted,
+                ),
+                (
+                    "repro_delta_compactions_total",
+                    "Delta overlays folded into a fresh base graph.",
+                    self.delta_compactions,
+                ),
+                (
+                    "repro_cache_entries_invalidated_total",
+                    "Result-cache entries killed by scoped invalidation.",
+                    self.cache_entries_invalidated,
+                ),
+                (
+                    "repro_cache_entries_retained_total",
+                    "Result-cache entries retained across graph deltas.",
+                    self.cache_entries_retained,
+                ),
             ):
                 lines.extend(render_counter(name, help_text, value))
             lines.extend(
@@ -566,6 +642,13 @@ class EngineStats:
                     "repro_http_queue_depth_peak",
                     "Peak in-flight HTTP queries since start.",
                     self.http_queue_depth_peak,
+                )
+            )
+            lines.extend(
+                render_gauge(
+                    "repro_graph_epoch",
+                    "Current graph epoch (bumped by every applied delta).",
+                    self.graph_epoch,
                 )
             )
             bounds, cumulative, sum_seconds, count = self._latencies.histogram()
@@ -618,6 +701,13 @@ class EngineStats:
             self.http_drain_rejections = 0
             self.http_queue_depth = 0
             self.http_queue_depth_peak = 0
+            self.deltas_applied = 0
+            self.delta_edges_inserted = 0
+            self.delta_edges_deleted = 0
+            self.delta_compactions = 0
+            self.cache_entries_invalidated = 0
+            self.cache_entries_retained = 0
+            self.graph_epoch = 0
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,814 @@
+"""Dynamic graphs: delta overlays, epoch swap, and scoped invalidation.
+
+Four layers of guarantees, each with its own differential oracle:
+
+1. **Structure** — a :class:`~repro.graph.delta.DeltaOverlayView` is
+   content-identical to a from-scratch :class:`DiGraph` over the mutated
+   edge list (adjacency, CSR views, edge set), while sharing untouched
+   rows with the previous epoch and chaining its fingerprint lineage.
+2. **Serving** — for random mutation schedules over generator topologies
+   x ``k in {3..8}`` x executor backends, every post-delta engine answer
+   is identical to a cold engine on a from-scratch rebuild at the same
+   epoch, including answers served from retained cache entries.
+3. **Scoped invalidation** — over-invalidation is allowed, under-
+   invalidation is a failure: after every delta, every *retained* cache
+   entry is audited against a from-scratch oracle; a localized-mutation
+   workload must retain >= 50% of its entries (the acceptance bar).
+4. **Concurrency** — interleaving ``apply_delta`` with live
+   ``run_batch``/``astream`` traffic never yields a torn epoch: each
+   individual answer matches one of the graph epochs alive during the
+   call, never a mix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import random
+import threading
+
+import pytest
+
+from repro.core.eve import EVE, EVEConfig
+from repro.core.distances import bounded_multi_source_distances
+from repro.exceptions import EdgeError, GraphError
+from repro.graph import DeltaOverlayView, DiGraph, GraphDelta, apply_delta
+from repro.graph.delta import _splice_csr
+from repro.graph.digraph import _build_csr
+from repro.graph.generators import erdos_renyi, power_law_cluster
+from repro.service import ResultCache, SPGEngine, ShardedSPGEngine, make_cache_key
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def random_delta(graph: DiGraph, rng: random.Random, inserts: int, deletes: int) -> GraphDelta:
+    """A random delta against ``graph``: fresh edges in, existing edges out."""
+    n = graph.num_vertices
+    insert_edges = []
+    for _ in range(inserts):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            insert_edges.append((u, v))
+    existing = sorted(graph.edge_set())
+    delete_edges = rng.sample(existing, min(len(existing), deletes))
+    insert_edges = [edge for edge in insert_edges if edge not in set(delete_edges)]
+    return GraphDelta(inserts=insert_edges, deletes=delete_edges)
+
+
+def mutated_edges(graph: DiGraph, delta: GraphDelta) -> set:
+    """The edge set a from-scratch rebuild at the next epoch must have."""
+    edges = graph.edge_set()
+    edges.difference_update(delta.deletes)
+    edges.update(delta.inserts)
+    return edges
+
+
+def rebuild(graph: DiGraph, delta: GraphDelta) -> DiGraph:
+    return DiGraph(graph.num_vertices, sorted(mutated_edges(graph, delta)))
+
+
+def random_queries(rng: random.Random, n: int, count: int, ks=(3, 4, 5, 6, 7, 8)):
+    queries = []
+    while len(queries) < count:
+        s, t = rng.randrange(n), rng.randrange(n)
+        if s != t:
+            queries.append((s, t, rng.choice(ks)))
+    return queries
+
+
+def assert_same_outcomes(report, oracle_report):
+    for got, want in zip(report, oracle_report):
+        assert (got.source, got.target, got.k) == (want.source, want.target, want.k)
+        assert (got.error is None) == (want.error is None), (got, want)
+        assert got.edges == want.edges, (got.source, got.target, got.k)
+
+
+# ----------------------------------------------------------------------
+# GraphDelta validation
+# ----------------------------------------------------------------------
+class TestGraphDelta:
+    def test_deduplicates_preserving_order(self):
+        delta = GraphDelta(inserts=[(3, 4), (1, 2), (3, 4)], deletes=[(5, 6), (5, 6)])
+        assert delta.inserts == ((3, 4), (1, 2))
+        assert delta.deletes == ((5, 6),)
+        assert delta.num_inserts == 2 and delta.num_deletes == 1
+
+    def test_self_loops_dropped(self):
+        delta = GraphDelta(inserts=[(2, 2), (0, 1)], deletes=[(7, 7)])
+        assert delta.inserts == ((0, 1),)
+        assert delta.deletes == ()
+        assert delta.dropped_self_loops == 2
+
+    def test_edge_in_both_lists_rejected(self):
+        with pytest.raises(GraphError, match="both inserts and deletes"):
+            GraphDelta(inserts=[(0, 1)], deletes=[(0, 1)])
+
+    @pytest.mark.parametrize("bad", [(True, 1), (0, 2.5), ("a", 1), (None, 0)])
+    def test_non_integer_endpoints_rejected(self, bad):
+        with pytest.raises(GraphError, match="non-integer endpoint"):
+            GraphDelta(inserts=[bad])
+
+    def test_malformed_pairs_rejected(self):
+        with pytest.raises(GraphError, match="not a \\(u, v\\) pair"):
+            GraphDelta(inserts=[(1, 2, 3)])
+
+    def test_lists_accepted_as_pairs(self):
+        delta = GraphDelta(inserts=[[0, 1]], deletes=[[2, 3]])
+        assert delta.inserts == ((0, 1),) and delta.deletes == ((2, 3),)
+
+    def test_out_of_range_rejected_at_apply(self):
+        graph = DiGraph(4, [(0, 1)])
+        with pytest.raises(EdgeError, match="outside"):
+            apply_delta(graph, GraphDelta(inserts=[(0, 9)]))
+        with pytest.raises(EdgeError, match="outside"):
+            apply_delta(graph, GraphDelta(deletes=[(-1, 2)]))
+
+    def test_empty_and_touched(self):
+        assert GraphDelta().is_empty
+        delta = GraphDelta(inserts=[(0, 1)], deletes=[(2, 3)])
+        assert delta.touched_vertices() == {0, 1, 2, 3}
+
+
+# ----------------------------------------------------------------------
+# Overlay structure vs from-scratch rebuild
+# ----------------------------------------------------------------------
+class TestDeltaOverlayView:
+    def test_matches_rebuild_everywhere(self):
+        rng = random.Random(11)
+        graph = erdos_renyi(50, 3.0, seed=4)
+        view = graph
+        for step in range(12):
+            delta = random_delta(view, rng, inserts=4, deletes=3)
+            oracle = rebuild(view, delta)
+            view = apply_delta(view, delta)
+            assert isinstance(view, DeltaOverlayView)
+            assert view == oracle
+            assert view.num_edges == oracle.num_edges
+            for u in range(50):
+                assert sorted(view.out_neighbors(u)) == sorted(oracle.out_neighbors(u))
+                assert sorted(view.in_neighbors(u)) == sorted(oracle.in_neighbors(u))
+            # The spliced CSR must equal a from-scratch flatten of the
+            # view's own adjacency (same order, same offsets).
+            assert view.csr() == _build_csr(view._out)
+            assert view.csr_reverse() == _build_csr(view._in)
+
+    def test_untouched_rows_shared_by_reference(self):
+        graph = erdos_renyi(40, 2.0, seed=9)
+        view = apply_delta(graph, GraphDelta(inserts=[(0, 20)]))
+        shared_out = sum(1 for u in range(40) if view._out[u] is graph._out[u])
+        assert shared_out >= 39  # only vertex 0's out-row is fresh
+        shared_in = sum(1 for u in range(40) if view._in[u] is graph._in[u])
+        assert shared_in >= 39  # only vertex 20's in-row is fresh
+
+    def test_idempotent_noops_are_skipped(self):
+        graph = DiGraph(5, [(0, 1), (1, 2)])
+        view = apply_delta(
+            graph, GraphDelta(inserts=[(0, 1), (2, 3)], deletes=[(3, 4)])
+        )
+        assert view.applied_inserts == ((2, 3),)
+        assert view.applied_deletes == ()
+        noop = apply_delta(graph, GraphDelta(inserts=[(0, 1)], deletes=[(2, 0)]))
+        assert noop.is_noop
+        assert noop.fingerprint() == graph.fingerprint()
+
+    def test_fingerprint_lineage(self):
+        graph = erdos_renyi(30, 2.0, seed=1)
+        delta = GraphDelta(inserts=[(0, 15)])
+        view = apply_delta(graph, delta)
+        assert view.fingerprint() != graph.fingerprint()
+        assert view.root_fingerprint == graph.fingerprint()
+        # Deterministic: same base + same net overlay -> same fingerprint,
+        # regardless of the order the delta was split into steps.
+        two_step = apply_delta(
+            apply_delta(graph, GraphDelta(inserts=[(0, 15), (1, 16)])),
+            GraphDelta(deletes=[(1, 16)]),
+        )
+        assert two_step.fingerprint() == view.fingerprint()
+        # Content differs from an equal from-scratch graph's fingerprint —
+        # allowed (over-invalidation only) and documented.
+        assert view.fingerprint() != rebuild(graph, delta).fingerprint()
+
+    def test_cancelling_delta_restores_root_fingerprint(self):
+        graph = erdos_renyi(30, 2.0, seed=2)
+        view = apply_delta(graph, GraphDelta(inserts=[(0, 15)]))
+        back = apply_delta(view, GraphDelta(deletes=[(0, 15)]))
+        assert back == graph
+        assert back.fingerprint() == graph.fingerprint()
+        assert back.overlay_size == 0
+
+    def test_overlay_merges_instead_of_chaining(self):
+        graph = erdos_renyi(30, 2.0, seed=3)
+        view = graph
+        rng = random.Random(5)
+        for _ in range(6):
+            view = apply_delta(view, random_delta(view, rng, 2, 1))
+        assert isinstance(view, DeltaOverlayView)
+        # The lineage root is still the original base, not an intermediate.
+        assert view.root_fingerprint == graph.fingerprint()
+
+    def test_compact_shares_storage_and_fingerprint(self):
+        graph = erdos_renyi(30, 2.0, seed=6)
+        view = apply_delta(graph, GraphDelta(inserts=[(0, 15), (1, 16)]))
+        compacted = view.compact()
+        assert type(compacted) is DiGraph
+        assert compacted == view
+        assert compacted.fingerprint() == view.fingerprint()
+        assert compacted._out is view._out
+        assert compacted._csr is view._csr
+        # Deltas on the compacted graph chain off the *new* root.
+        next_view = apply_delta(compacted, GraphDelta(inserts=[(2, 17)]))
+        assert next_view.root_fingerprint == compacted.fingerprint()
+        assert next_view.overlay_size == 1
+
+    def test_pickle_round_trip(self):
+        graph = erdos_renyi(30, 2.0, seed=7)
+        view = apply_delta(graph, GraphDelta(inserts=[(0, 15)], deletes=[]))
+        clone = pickle.loads(pickle.dumps(view))
+        assert isinstance(clone, DeltaOverlayView)
+        assert clone == view
+        assert clone.fingerprint() == view.fingerprint()
+        assert clone.csr() == view.csr()
+        # Unpickled views are detached (empty overlay, self-rooted).
+        assert clone.overlay_size == 0
+
+    def test_reverse_and_copy_still_work(self):
+        graph = erdos_renyi(30, 2.0, seed=8)
+        view = apply_delta(graph, GraphDelta(inserts=[(0, 15)]))
+        reverse = view.reverse()
+        assert reverse.edge_set() == {(v, u) for (u, v) in view.edge_set()}
+        clone = view.copy()
+        assert clone == view and clone.fingerprint() == view.fingerprint()
+
+    def test_empty_graph_and_full_deletion(self):
+        empty = DiGraph.empty(3)
+        grown = apply_delta(empty, GraphDelta(inserts=[(0, 1), (1, 2)]))
+        assert grown.edge_set() == {(0, 1), (1, 2)}
+        bare = apply_delta(grown, GraphDelta(deletes=[(0, 1), (1, 2)]))
+        assert bare.num_edges == 0
+        assert bare.fingerprint() == empty.fingerprint()
+
+    def test_splice_csr_against_reference(self):
+        rng = random.Random(13)
+        for trial in range(20):
+            n = rng.randrange(1, 12)
+            adjacency = [
+                sorted(rng.sample(range(n), rng.randrange(0, n))) for _ in range(n)
+            ]
+            base = _build_csr(adjacency)
+            changed = {}
+            for u in rng.sample(range(n), rng.randrange(0, n + 1)):
+                changed[u] = sorted(rng.sample(range(n), rng.randrange(0, n)))
+            merged = [changed.get(u, adjacency[u]) for u in range(n)]
+            assert _splice_csr(base, changed, n) == _build_csr(merged), trial
+
+
+# ----------------------------------------------------------------------
+# Union-graph bounded multi-source BFS
+# ----------------------------------------------------------------------
+class TestBoundedMultiSourceDistances:
+    def _oracle(self, edges, n, sources, depth):
+        from collections import deque
+
+        adjacency = {u: [] for u in range(n)}
+        for u, v in edges:
+            adjacency[u].append(v)
+        dist = {s: 0 for s in sources}
+        queue = deque(sources)
+        while queue:
+            u = queue.popleft()
+            if dist[u] >= depth:
+                continue
+            for v in adjacency[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_oracle_with_extra_edges(self, seed):
+        rng = random.Random(seed)
+        graph = erdos_renyi(40, 2.5, seed=seed)
+        extra = {}
+        extra_edges = []
+        for _ in range(6):
+            u, v = rng.randrange(40), rng.randrange(40)
+            if u != v:
+                extra.setdefault(u, []).append(v)
+                extra_edges.append((u, v))
+        sources = {rng.randrange(40) for _ in range(3)}
+        depth = rng.randrange(0, 6)
+        union_edges = list(graph.edge_set()) + extra_edges
+        want = self._oracle(union_edges, 40, sources, depth)
+        got = bounded_multi_source_distances(
+            graph, sources, depth, extra_adjacency=extra
+        )
+        assert got == want
+        # Reverse traversal == forward traversal of the flipped edges.
+        reverse_extra = {}
+        for u, v in extra_edges:
+            reverse_extra.setdefault(v, []).append(u)
+        want_reverse = self._oracle(
+            [(v, u) for (u, v) in union_edges], 40, sources, depth
+        )
+        got_reverse = bounded_multi_source_distances(
+            graph, sources, depth, reverse=True, extra_adjacency=reverse_extra
+        )
+        assert got_reverse == want_reverse
+
+    def test_empty_sources_and_zero_depth(self):
+        graph = erdos_renyi(10, 2.0, seed=0)
+        assert bounded_multi_source_distances(graph, (), 5) == {}
+        assert bounded_multi_source_distances(graph, (3,), 0) == {3: 0}
+
+
+# ----------------------------------------------------------------------
+# ResultCache: invalidate_where / rekey_fingerprint
+# ----------------------------------------------------------------------
+class TestCacheScopedInvalidation:
+    CONFIG = EVEConfig()
+
+    def _fill(self, cache, fingerprint, count, result):
+        for index in range(count):
+            cache.put(make_cache_key(index, index + 1, 4, self.CONFIG, fingerprint), result)
+
+    def test_invalidate_where_removes_exactly_matches(self, figure1_graph):
+        result = EVE(figure1_graph, self.CONFIG).query(0, 3, 4)
+        cache = ResultCache(64)
+        self._fill(cache, "fp-a", 10, result)
+        removed = cache.invalidate_where(lambda key: key[0] % 2 == 0)
+        assert removed == 5
+        assert len(cache) == 5
+        assert all(key[0] % 2 == 1 for key in cache.keys())
+        assert cache.stats()["invalidations"] == 5
+
+    def test_hit_rate_counters_consistent_across_partial_invalidation(self, figure1_graph):
+        result = EVE(figure1_graph, self.CONFIG).query(0, 3, 4)
+        cache = ResultCache(64)
+        self._fill(cache, "fp-a", 8, result)
+        for index in range(8):
+            assert cache.get(make_cache_key(index, index + 1, 4, self.CONFIG, "fp-a"))
+        before = cache.stats()
+        assert before["hits"] == 8 and before["misses"] == 0
+        cache.invalidate_where(lambda key: key[0] < 4)
+        # Invalidation itself is not a lookup: hit/miss untouched.
+        mid = cache.stats()
+        assert mid["hits"] == 8 and mid["misses"] == 0
+        # Removed entries now miss; retained entries still hit.
+        for index in range(8):
+            hit = cache.get(make_cache_key(index, index + 1, 4, self.CONFIG, "fp-a"))
+            assert (hit is not None) == (index >= 4)
+        after = cache.stats()
+        assert after["hits"] == 12 and after["misses"] == 4
+        assert after["hits"] + after["misses"] == 16
+        assert after["hit_rate"] == pytest.approx(12 / 16)
+
+    def test_rekey_fingerprint_migrates_and_drops(self, figure1_graph):
+        result = EVE(figure1_graph, self.CONFIG).query(0, 3, 4)
+        cache = ResultCache(64)
+        self._fill(cache, "fp-old", 6, result)
+        self._fill(cache, "fp-other", 3, result)
+        invalidated, retained = cache.rekey_fingerprint(
+            "fp-old", "fp-new", keep=lambda key: key[0] >= 2
+        )
+        assert (invalidated, retained) == (2, 4)
+        fingerprints = {key[4] for key in cache.keys()}
+        assert fingerprints == {"fp-new", "fp-other"}
+        # Retained entries answer under the new fingerprint without a miss.
+        assert cache.get(make_cache_key(2, 3, 4, self.CONFIG, "fp-new")) is result
+        assert cache.get(make_cache_key(0, 1, 4, self.CONFIG, "fp-old")) is None
+
+    def test_rekey_none_keep_drops_all(self, figure1_graph):
+        result = EVE(figure1_graph, self.CONFIG).query(0, 3, 4)
+        cache = ResultCache(64)
+        self._fill(cache, "fp-old", 4, result)
+        invalidated, retained = cache.rekey_fingerprint("fp-old", "fp-new", None)
+        assert (invalidated, retained) == (4, 0)
+        assert len(cache) == 0
+
+    def test_concurrent_invalidation_with_traffic(self, figure1_graph):
+        result = EVE(figure1_graph, self.CONFIG).query(0, 3, 4)
+        cache = ResultCache(512)
+        stop = threading.Event()
+        errors = []
+
+        def traffic():
+            rng = random.Random(0)
+            while not stop.is_set():
+                index = rng.randrange(64)
+                key = make_cache_key(index, index + 1, 4, self.CONFIG, "fp")
+                cache.put(key, result)
+                cache.get(key)
+
+        def invalidator():
+            try:
+                for _ in range(200):
+                    cache.invalidate_where(lambda key: key[0] % 3 == 0)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=traffic) for _ in range(3)]
+        worker = threading.Thread(target=invalidator)
+        for thread in threads:
+            thread.start()
+        worker.start()
+        worker.join()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] > 0
+
+
+# ----------------------------------------------------------------------
+# The delta-vs-rebuild differential harness
+# ----------------------------------------------------------------------
+def run_schedule(engine_factory, graph, seed, steps=4, query_count=16):
+    """Drive one engine through a random mutation schedule.
+
+    After every delta the engine's answers (including cache hits — each
+    round queries twice) are compared to a cold serial engine on a
+    from-scratch ``DiGraph`` with the same edge set, and every *retained*
+    cache entry is audited against a fresh EVE run on the new graph
+    (under-invalidation check).
+    """
+    rng = random.Random(seed)
+    engine = engine_factory(graph)
+    current = graph
+    try:
+        queries = random_queries(rng, graph.num_vertices, query_count)
+        engine.run_batch(queries)
+        for step in range(steps):
+            delta = random_delta(current, rng, inserts=3, deletes=2)
+            current = rebuild(current, delta)
+            report = engine.apply_delta(delta)
+            assert engine.graph == current, f"step {step}: wrong edge set"
+
+            with SPGEngine(current, executor_backend="serial", cache_size=0) as oracle:
+                oracle_report = oracle.run_batch(queries)
+                # First run may mix retained-cache hits and fresh computes;
+                # second run must be all-hits — both must match the oracle.
+                assert_same_outcomes(engine.run_batch(queries), oracle_report)
+                second = engine.run_batch(queries)
+                assert_same_outcomes(second, oracle_report)
+
+            if engine.cache is not None:
+                fingerprint = engine._batch_fingerprint(engine.graph)
+                config = engine.config
+                for key, cached in engine.cache.items():
+                    if key[4] != fingerprint:
+                        continue
+                    expected = EVE(current, config).query(key[0], key[1], key[2])
+                    assert cached.edges == expected.edges, (
+                        f"stale retained entry {key[:3]} after step {step}"
+                    )
+
+            snapshot = engine.stats_snapshot()
+            assert snapshot["graph_epoch"] == engine.graph_epoch
+            assert snapshot["deltas_applied"] == step + 1
+            assert snapshot["delta_edges_inserted"] >= report.inserted
+            assert (
+                report.cache_invalidated + report.cache_retained >= 0
+            )
+    finally:
+        engine.close()
+
+
+class TestDifferentialHarness:
+    TOPOLOGIES = [
+        ("erdos", lambda: erdos_renyi(48, 2.5, seed=21)),
+        ("power-law", lambda: power_law_cluster(48, 3, seed=22)),
+    ]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("topology", [name for name, _ in TOPOLOGIES])
+    def test_delta_answers_match_rebuild(self, backend, topology):
+        build = dict(self.TOPOLOGIES)[topology]
+        run_schedule(
+            lambda g: SPGEngine(g, executor_backend=backend, max_workers=2),
+            build(),
+            seed=hash((backend, topology)) % (2**31),
+        )
+
+    @pytest.mark.parametrize("num_shards", [2, 3])
+    def test_sharded_engine_matches_rebuild(self, num_shards):
+        run_schedule(
+            lambda g: ShardedSPGEngine(
+                g, num_shards=num_shards, executor_backend="serial"
+            ),
+            erdos_renyi(48, 2.5, seed=23),
+            seed=num_shards,
+        )
+
+    def test_process_backend_pool_refreshes_across_epochs(self):
+        # One schedule on the process backend: the warm pool serving the
+        # old fingerprint must be detected stale and rebuilt lazily, and
+        # the answers must still match the from-scratch rebuild.
+        run_schedule(
+            lambda g: SPGEngine(g, executor_backend="process", max_workers=2),
+            erdos_renyi(36, 2.5, seed=24),
+            seed=99,
+            steps=2,
+            query_count=10,
+        )
+
+    def test_every_k_in_range(self):
+        # Explicit sweep of the spec'd k range on one schedule: every k
+        # gets its own query set against the same mutation sequence.
+        rng = random.Random(31)
+        graph = erdos_renyi(40, 2.5, seed=31)
+        with SPGEngine(graph, executor_backend="serial") as engine:
+            current = graph
+            for _ in range(3):
+                delta = random_delta(current, rng, 3, 2)
+                current = rebuild(current, delta)
+                engine.apply_delta(delta)
+                for k in range(3, 9):
+                    queries = [
+                        (s, t, k) for (s, t, _) in random_queries(rng, 40, 6)
+                    ]
+                    with SPGEngine(
+                        current, executor_backend="serial", cache_size=0
+                    ) as oracle:
+                        assert_same_outcomes(
+                            engine.run_batch(queries), oracle.run_batch(queries)
+                        )
+
+
+# ----------------------------------------------------------------------
+# Engine delta semantics
+# ----------------------------------------------------------------------
+class TestEngineDeltaSemantics:
+    def test_epoch_and_report_bookkeeping(self):
+        graph = erdos_renyi(30, 2.0, seed=41)
+        with SPGEngine(graph, executor_backend="serial") as engine:
+            assert engine.graph_epoch == 0
+            report = engine.apply_delta(GraphDelta(inserts=[(0, 15)]))
+            assert report.epoch == 1 and engine.graph_epoch == 1
+            assert report.inserted == 1 and report.deleted == 0
+            assert not report.noop
+            # Idempotent replay: everything skipped, nothing changes.
+            replay = engine.apply_delta(GraphDelta(inserts=[(0, 15)]))
+            assert replay.noop and replay.skipped_inserts == 1
+            assert engine.graph_epoch == 1
+            snapshot = engine.stats_snapshot()
+            assert snapshot["deltas_applied"] == 2
+            assert snapshot["graph_epoch"] == 1
+
+    def test_noop_delta_keeps_cache_warm(self):
+        graph = erdos_renyi(30, 2.0, seed=42)
+        with SPGEngine(graph, executor_backend="serial") as engine:
+            queries = random_queries(random.Random(1), 30, 8)
+            engine.run_batch(queries)
+            engine.run_batch(queries)
+            existing = next(iter(graph.edge_set()))
+            report = engine.apply_delta(GraphDelta(inserts=[existing]))
+            assert report.noop
+            outcomes = engine.run_batch(queries)
+            assert all(outcome.cached for outcome in outcomes)
+
+    def test_compaction_threshold_triggers(self):
+        graph = erdos_renyi(40, 2.0, seed=43)
+        with SPGEngine(
+            graph, executor_backend="serial", compact_threshold=4
+        ) as engine:
+            report = engine.apply_delta(
+                GraphDelta(inserts=[(0, 20), (1, 21), (2, 22)])
+            )
+            assert not report.compacted  # overlay size 3 < 4
+            assert isinstance(engine.graph, DeltaOverlayView)
+            report = engine.apply_delta(GraphDelta(inserts=[(3, 23), (4, 24)]))
+            assert report.compacted  # overlay size 5 >= 4
+            assert type(engine.graph) is DiGraph
+            assert engine.stats_snapshot()["delta_compactions"] == 1
+            # Post-compaction queries still serve correctly.
+            with SPGEngine(
+                DiGraph(40, sorted(engine.graph.edge_set())),
+                executor_backend="serial",
+                cache_size=0,
+            ) as oracle:
+                queries = random_queries(random.Random(2), 40, 8)
+                assert_same_outcomes(
+                    engine.run_batch(queries), oracle.run_batch(queries)
+                )
+
+    def test_bad_threshold_rejected(self):
+        graph = DiGraph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="compact_threshold"):
+            SPGEngine(graph, compact_threshold=0)
+
+    def test_out_of_range_delta_leaves_engine_untouched(self):
+        graph = DiGraph(4, [(0, 1), (1, 2)])
+        with SPGEngine(graph, executor_backend="serial") as engine:
+            with pytest.raises(EdgeError):
+                engine.apply_delta(GraphDelta(inserts=[(0, 99)]))
+            assert engine.graph is graph
+            assert engine.graph_epoch == 0
+
+    def test_unscoped_invalidation_flushes_old_epoch(self):
+        graph = erdos_renyi(30, 2.0, seed=44)
+        with SPGEngine(graph, executor_backend="serial") as engine:
+            queries = random_queries(random.Random(3), 30, 8)
+            engine.run_batch(queries)
+            report = engine.apply_delta(
+                GraphDelta(inserts=[(0, 15)]), scoped_invalidation=False
+            )
+            assert report.cache_retained == 0
+            assert report.cache_invalidated > 0
+
+
+# ----------------------------------------------------------------------
+# Scoped invalidation: the >= 50% retention acceptance bar
+# ----------------------------------------------------------------------
+class TestScopedRetention:
+    def _two_cluster_graph(self):
+        """Two dense 30-vertex clusters joined by one long directed path.
+
+        Queries inside cluster A (vertices 0..29) have k-balls that cannot
+        reach cluster B (vertices 40..69) within k <= 5 hops: the bridge
+        path 29 -> 30 -> ... -> 40 is 11 hops long.
+        """
+        rng = random.Random(51)
+        edges = set()
+        for base in (0, 40):
+            for _ in range(120):
+                u = base + rng.randrange(30)
+                v = base + rng.randrange(30)
+                if u != v:
+                    edges.add((u, v))
+        for u in range(29, 40):
+            edges.add((u, u + 1))
+        return DiGraph(70, sorted(edges))
+
+    def test_localized_mutation_retains_majority(self):
+        graph = self._two_cluster_graph()
+        with SPGEngine(graph, executor_backend="serial") as engine:
+            rng = random.Random(52)
+            queries = []
+            while len(queries) < 20:
+                s, t = rng.randrange(30), rng.randrange(30)
+                if s != t:
+                    queries.append((s, t, rng.choice((3, 4, 5))))
+            engine.run_batch(queries)
+            entries_before = len(engine.cache)
+            assert entries_before >= 15
+
+            # Mutate only cluster B: insert and delete edges far from
+            # every cached query's k-ball.
+            b_edges = [e for e in graph.edge_set() if e[0] >= 40]
+            delta = GraphDelta(
+                inserts=[(41, 55), (42, 56)], deletes=b_edges[:2]
+            )
+            report = engine.apply_delta(delta)
+            assert not report.noop
+            retention = report.cache_retained / max(
+                1, report.cache_retained + report.cache_invalidated
+            )
+            assert retention >= 0.5, (
+                f"scoped invalidation retained only {retention:.0%} on a "
+                f"localized mutation ({report})"
+            )
+            # The retained entries actually serve: the same workload is
+            # all cache hits, and matches a from-scratch oracle.
+            outcomes = engine.run_batch(queries)
+            assert all(outcome.cached for outcome in outcomes)
+            rebuilt = rebuild(graph, delta)
+            with SPGEngine(
+                rebuilt, executor_backend="serial", cache_size=0
+            ) as oracle:
+                assert_same_outcomes(outcomes, oracle.run_batch(queries))
+
+    def test_mutation_inside_ball_invalidates(self):
+        graph = self._two_cluster_graph()
+        with SPGEngine(graph, executor_backend="serial") as engine:
+            engine.query(0, 5, 4)
+            # Delete an edge adjacent to the cached source: its ball
+            # certainly intersects, so the entry must die.
+            victim = next(e for e in graph.edge_set() if e[0] == 0)
+            report = engine.apply_delta(GraphDelta(deletes=[victim]))
+            assert report.cache_invalidated >= 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent mutation under live traffic: no torn epochs
+# ----------------------------------------------------------------------
+class TestConcurrentMutation:
+    def _oracle_answers(self, graphs, queries):
+        """Per-query answer sets acceptable under each epoch."""
+        table = []
+        for s, t, k in queries:
+            accepted = []
+            for graph in graphs:
+                try:
+                    accepted.append(EVE(graph, EVEConfig()).query(s, t, k).edges)
+                except Exception:
+                    accepted.append(None)  # errored under this epoch
+            table.append(accepted)
+        return table
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_run_batch_interleaved_with_apply_delta(self, seed):
+        rng = random.Random(seed)
+        base = erdos_renyi(36, 2.5, seed=seed)
+        deltas = []
+        graphs = [base]
+        current = base
+        for _ in range(3):
+            delta = random_delta(current, rng, 2, 1)
+            deltas.append(delta)
+            current = rebuild(current, delta)
+            graphs.append(current)
+        queries = random_queries(rng, 36, 12)
+        oracle = self._oracle_answers(graphs, queries)
+
+        with SPGEngine(base, executor_backend="thread", max_workers=2) as engine:
+            start = threading.Barrier(2)
+            mutator_done = threading.Event()
+
+            def mutate():
+                start.wait()
+                for delta in deltas:
+                    engine.apply_delta(delta)
+                mutator_done.set()
+
+            mutator = threading.Thread(target=mutate)
+            mutator.start()
+            start.wait()
+            reports = []
+            for _ in range(6):
+                reports.append(engine.run_batch(queries))
+            mutator.join()
+            reports.append(engine.run_batch(queries))  # final epoch only
+
+        for report in reports:
+            for index, outcome in enumerate(report):
+                accepted = oracle[index]
+                if outcome.error is not None:
+                    assert any(answer is None for answer in accepted), (
+                        f"query {queries[index]} errored but no epoch errors"
+                    )
+                else:
+                    assert outcome.edges in [a for a in accepted if a is not None], (
+                        f"torn epoch: query {queries[index]} answer matches "
+                        f"no single epoch"
+                    )
+        # The final batch (after all mutations) must match the last epoch.
+        final = reports[-1]
+        for index, outcome in enumerate(final):
+            last = oracle[index][-1]
+            if last is None:
+                assert outcome.error is not None
+            else:
+                assert outcome.edges == last
+
+    def test_astream_interleaved_with_apply_delta(self):
+        rng = random.Random(7)
+        base = erdos_renyi(36, 2.5, seed=7)
+        delta = random_delta(base, rng, 3, 2)
+        after = rebuild(base, delta)
+        queries = random_queries(rng, 36, 10)
+        oracle = self._oracle_answers([base, after], queries)
+
+        async def drive():
+            with SPGEngine(base, executor_backend="thread", max_workers=2) as engine:
+                outcomes = []
+                stream = engine.astream(queries, batch_size=2)
+                loop = asyncio.get_running_loop()
+                applied = False
+                async for outcome in stream:
+                    outcomes.append(outcome)
+                    if not applied and len(outcomes) == 4:
+                        applied = True
+                        await loop.run_in_executor(None, engine.apply_delta, delta)
+                return outcomes
+
+        outcomes = asyncio.run(drive())
+        assert len(outcomes) == len(queries)
+        for index, outcome in enumerate(outcomes):
+            accepted = oracle[index]
+            if outcome.error is not None:
+                assert any(answer is None for answer in accepted)
+            else:
+                assert outcome.edges in [a for a in accepted if a is not None]
+
+    def test_concurrent_mutators_serialize(self):
+        base = erdos_renyi(30, 2.0, seed=9)
+        with SPGEngine(base, executor_backend="serial") as engine:
+            inserts = [(u, (u + 15) % 30) for u in range(12)]
+            inserts = [e for e in inserts if e not in base.edge_set()]
+
+            def apply_one(edge):
+                return engine.apply_delta(GraphDelta(inserts=[edge]))
+
+            threads = [
+                threading.Thread(target=apply_one, args=(edge,)) for edge in inserts
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert engine.graph_epoch == len(inserts)
+            assert engine.graph.edge_set() == base.edge_set() | set(inserts)
+            snapshot = engine.stats_snapshot()
+            assert snapshot["delta_edges_inserted"] == len(inserts)

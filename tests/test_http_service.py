@@ -650,3 +650,194 @@ def test_loadgen_smoke_passes_in_process():
         loadgen.smoke(topology="tw", scale=0.05, burst=24, max_queue_depth=2)
     )
     assert violations == []
+
+
+def test_loadgen_mutation_smoke_passes_in_process():
+    """The dynamic-graph CI leg (loadgen.py mutate-smoke) must hold its contract."""
+    benchmarks_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    sys.path.insert(0, str(benchmarks_dir))
+    try:
+        import loadgen
+    finally:
+        sys.path.remove(str(benchmarks_dir))
+    violations = asyncio.run(
+        loadgen.mutation_smoke(
+            topology="tw",
+            scale=0.05,
+            rate=30.0,
+            duration=1.5,
+            mutation_rounds=6,
+            in_process=True,
+        )
+    )
+    assert violations == []
+
+
+# ----------------------------------------------------------------------
+# POST /mutate — graph deltas under live traffic
+# ----------------------------------------------------------------------
+class TestMutateEndpoint:
+    def test_mutation_changes_served_answers(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph, cache_size=64) as engine:
+                frontend = await _booted(engine)
+                try:
+                    query = json.dumps({"source": 0, "target": 7, "k": 4}).encode()
+                    before = (await request(
+                        frontend.address, None, "POST", "/query", body=query
+                    )).json()
+
+                    body = json.dumps({"insert": [[0, 7]]}).encode()
+                    response = await request(
+                        frontend.address, None, "POST", "/mutate", body=body
+                    )
+                    assert response.status == 200
+                    report = response.json()
+                    assert report["epoch"] == 1
+                    assert report["inserted"] == 1 and report["deleted"] == 0
+                    assert report["noop"] is False
+
+                    after = (await request(
+                        frontend.address, None, "POST", "/query", body=query
+                    )).json()
+                    return before, after
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        before, after = asyncio.run(scenario())
+        assert before["ok"] and after["ok"]
+        assert [0, 7] not in before["edges"]
+        assert [0, 7] in after["edges"]
+
+    def test_mutate_with_vertex_labels(self, figure1):
+        graph, builder = figure1
+
+        async def scenario():
+            with _engine(graph) as engine:
+                frontend = await _booted(engine, builder=builder)
+                try:
+                    body = json.dumps(
+                        {"insert": [["s", "t"]], "delete": [["b", "a"]]}
+                    ).encode()
+                    response = await request(
+                        frontend.address, None, "POST", "/mutate", body=body
+                    )
+                    assert response.status == 200
+                    report = response.json()
+                    assert report["inserted"] == 1 and report["deleted"] == 1
+
+                    unknown = await request(
+                        frontend.address,
+                        None,
+                        "POST",
+                        "/mutate",
+                        body=json.dumps({"insert": [["s", "zz"]]}).encode(),
+                    )
+                    assert unknown.status == 400
+                    assert "zz" in unknown.json()["error"]
+                    sid, tid = builder.vertex_id("s"), builder.vertex_id("t")
+                    return (sid, tid) in engine.graph.edge_set()
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        assert asyncio.run(scenario())
+
+    def test_noop_and_idempotent_replay(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    existing = sorted(small_dense_graph.edge_set())[0]
+                    body = json.dumps({"insert": [list(existing)]}).encode()
+                    response = await request(
+                        frontend.address, None, "POST", "/mutate", body=body
+                    )
+                    report = response.json()
+                    assert response.status == 200
+                    assert report["noop"] is True
+                    assert report["skipped_inserts"] == 1
+                    assert report["epoch"] == 0
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            (b"not json", "invalid JSON"),
+            (b"[1, 2]", "JSON object"),
+            (b'{"upsert": []}', "unknown mutate keys"),
+            (b'{"insert": {"0": 1}}', "JSON array"),
+            (b'{"insert": [[0]]}', "pair"),
+            (b'{"insert": [[0, 1]], "delete": [[0, 1]]}', "both inserts and deletes"),
+            (b'{"insert": [[0, 9999]]}', "outside"),
+        ],
+    )
+    def test_malformed_mutations_get_400(self, small_dense_graph, body, fragment):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    response = await request(
+                        frontend.address, None, "POST", "/mutate", body=body
+                    )
+                    assert response.status == 400
+                    assert fragment in response.json()["error"]
+                    assert engine.graph_epoch == 0
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    def test_get_mutate_is_405(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                try:
+                    response = await request(frontend.address, path="/mutate")
+                    assert response.status == 405
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    def test_mutate_rejected_during_drain(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph) as engine:
+                frontend = await _booted(engine)
+                frontend.admission.begin_drain()
+                try:
+                    body = json.dumps({"insert": [[0, 7]]}).encode()
+                    response = await request(
+                        frontend.address, None, "POST", "/mutate", body=body
+                    )
+                    assert response.status == 503
+                    assert engine.graph_epoch == 0
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())
+
+    def test_metrics_expose_delta_counters(self, small_dense_graph):
+        async def scenario():
+            with _engine(small_dense_graph, cache_size=64) as engine:
+                frontend = await _booted(engine)
+                try:
+                    body = json.dumps({"insert": [[0, 7]], "delete": []}).encode()
+                    assert (
+                        await request(
+                            frontend.address, None, "POST", "/mutate", body=body
+                        )
+                    ).status == 200
+                    metrics = await request(frontend.address, path="/metrics")
+                    samples = {
+                        s.name: s.value for s in parse_exposition(metrics.text)
+                    }
+                    assert samples["repro_deltas_applied_total"] == 1.0
+                    assert samples["repro_delta_edges_inserted_total"] == 1.0
+                    assert samples["repro_graph_epoch"] == 1.0
+                finally:
+                    assert await frontend.shutdown(5.0)
+
+        asyncio.run(scenario())

@@ -812,6 +812,9 @@ class TestTrajectorySchema:
         assert "kernel.distance_index.best_ms_per_query" in names
         assert "kernel.backward_bfs.best_ms_per_pass" in names
         assert "serving.throughput_qps" in names
+        assert "serving.dynamic.apply_ms" in names
+        assert "serving.dynamic.overlay_vs_rebuild_speedup" in names
+        assert "serving.dynamic.cache_retention_ratio" in names
         assert any(name.startswith("phase.") for name in names)
         kinds = {entry["kind"] for entry in data["entries"]}
         assert kinds == {"kernel", "phase", "serving"}
